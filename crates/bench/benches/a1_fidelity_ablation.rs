@@ -1,0 +1,48 @@
+//! A1 — fidelity ablation: each Lo-Fi fix eliminates exactly its root-cause
+//! cluster, demonstrating the paper's claim that the generated tests "can
+//! be used again in the future to validate the implementation" (§6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pokemu::harness::{run_cross_validation, PipelineConfig, RootCause};
+use pokemu::lofi::Fidelity;
+
+fn run(byte: u8, fid: Fidelity) -> (usize, Vec<String>) {
+    let r = run_cross_validation(PipelineConfig {
+        first_byte: Some(byte),
+        max_paths_per_insn: 48,
+        lofi_fidelity: fid,
+        ..PipelineConfig::default()
+    });
+    let causes = r.lofi_clusters.iter().map(|(c, n, _)| format!("{c} x{n}")).collect();
+    (r.lofi_filtered, causes)
+}
+
+fn report() {
+    let rows: &[(&str, u8, Fidelity, RootCause)] = &[
+        ("leave atomicity", 0xc9, Fidelity { atomic_leave: true, ..Fidelity::QEMU_LIKE }, RootCause::AtomicityViolation),
+        ("segment checks", 0xa2, Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE }, RootCause::MissingSegmentChecks),
+        ("encodings", 0xd6, Fidelity { accept_undocumented: true, ..Fidelity::QEMU_LIKE }, RootCause::EncodingRejected),
+    ];
+    for (label, byte, fixed, _cause) in rows {
+        let (base_diffs, base_causes) = run(*byte, Fidelity::QEMU_LIKE);
+        let (fixed_diffs, fixed_causes) = run(*byte, *fixed);
+        println!("[A1] {label:18} opcode {byte:#04x}: {base_diffs} diffs {base_causes:?}");
+        println!("[A1] {label:18}   after fix: {fixed_diffs} diffs {fixed_causes:?}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("a1");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("pipeline_leave_qemu_like", |b| {
+        b.iter(|| run(0xc9, Fidelity::QEMU_LIKE))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2 — machine-state-space exploration (paper §6.1: 610,516 paths, >=95%
+//! of instructions with complete path coverage, cap 8192). Prints per-
+//! instruction path counts and coverage, and benchmarks exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pokemu::explore::{explore_state_space, StateSpaceConfig};
+use pokemu::harness::baseline_snapshot;
+
+fn report() {
+    let baseline = baseline_snapshot();
+    let insns: &[(&str, &[u8])] = &[
+        ("clc", &[0xf8]),
+        ("push eax", &[0x50]),
+        ("jz rel8", &[0x74, 0x02]),
+        ("add eax, imm", &[0x05, 0, 0, 0, 0]),
+        ("div ecx", &[0xf7, 0xf1]),
+        ("leave", &[0xc9]),
+        ("mov ds, ax", &[0x8e, 0xd8]),
+        
+    ];
+    println!("[E2] instruction | paths | complete coverage");
+    let mut complete = 0;
+    for (name, bytes) in insns {
+        let s = explore_state_space(bytes, &baseline, StateSpaceConfig { max_paths: 256, ..Default::default() });
+        println!("[E2] {name:14} | {:5} | {}", s.paths.len(), s.complete);
+        complete += s.complete as usize;
+    }
+    println!(
+        "[E2] complete coverage: {complete}/{} = {:.0}% (paper: ~95%)",
+        insns.len(),
+        100.0 * complete as f64 / insns.len() as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let baseline = baseline_snapshot();
+    let mut g = c.benchmark_group("e2");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("explore_state_space_div", |b| {
+        b.iter(|| {
+            explore_state_space(&[0xf7, 0xf1], &baseline, StateSpaceConfig { max_paths: 128, ..Default::default() })
+        })
+    });
+    g.bench_function("explore_state_space_leave", |b| {
+        b.iter(|| {
+            explore_state_space(&[0xc9], &baseline, StateSpaceConfig { max_paths: 64, ..Default::default() })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

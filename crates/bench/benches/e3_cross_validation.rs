@@ -1,0 +1,50 @@
+//! E3 — three-way cross-validation (paper §6.2: of 610,516 tests, 60,770
+//! differ on QEMU and 15,219 on Bochs, both vs hardware). Prints the
+//! measured difference counts for the sweep (the shape: Lo-Fi >> Hi-Fi)
+//! and benchmarks test execution on each target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pokemu::harness::{run_cross_validation, PipelineConfig, HiFiTarget, LofiTarget, HardwareTarget, Target};
+use pokemu::lofi::Fidelity;
+use pokemu::testgen::TestProgram;
+
+fn report() {
+    let mut paths = 0usize;
+    let (mut lofi, mut hifi) = (0usize, 0usize);
+    for &b in pokemu_bench::SWEEP_BYTES {
+        let r = run_cross_validation(PipelineConfig {
+            first_byte: Some(b),
+            max_paths_per_insn: 64,
+            ..PipelineConfig::default()
+        });
+        paths += r.total_paths;
+        lofi += r.lofi_differences;
+        hifi += r.hifi_differences;
+    }
+    println!("[E3] tests={paths} lofi_diffs={lofi} hifi_diffs={hifi}");
+    println!(
+        "[E3] paper shape holds (lofi >> hifi): {} ({:.1}% vs {:.1}%)",
+        lofi > hifi,
+        100.0 * lofi as f64 / paths.max(1) as f64,
+        100.0 * hifi as f64 / paths.max(1) as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let prog = TestProgram::baseline_only("bench".into(), &[0x90]).unwrap();
+    let mut g = c.benchmark_group("e3_target_execution");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("hifi_run_test_program", |b| b.iter(|| HiFiTarget.run_program(&prog)));
+    g.bench_function("lofi_run_test_program", |b| {
+        b.iter(|| LofiTarget { fidelity: Fidelity::QEMU_LIKE }.run_program(&prog))
+    });
+    g.bench_function("hardware_run_test_program", |b| b.iter(|| HardwareTarget.run_program(&prog)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

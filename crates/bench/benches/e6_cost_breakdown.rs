@@ -1,0 +1,60 @@
+//! E6 — cost breakdown and parallel scaling (paper §6: generation cost
+//! "lies in the invocations of the solver" and dominates; generation and
+//! execution are both highly parallelizable — 3x8-core EC2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pokemu::explore::{explore_state_space, StateSpaceConfig};
+use pokemu::harness::{baseline_snapshot, run_cross_validation, run_on_all_targets, PipelineConfig};
+use pokemu::lofi::Fidelity;
+use std::time::Instant;
+
+fn report() {
+    let baseline = baseline_snapshot();
+    let t = Instant::now();
+    let space = explore_state_space(&[0xf7, 0xf1], &baseline, StateSpaceConfig { max_paths: 64, ..Default::default() });
+    let gen = t.elapsed();
+    let progs = pokemu::explore::to_test_programs(&space, "e6");
+    let t = Instant::now();
+    for p in &progs {
+        let _ = run_on_all_targets(p, Fidelity::QEMU_LIKE);
+    }
+    let exec = t.elapsed();
+    println!(
+        "[E6] div ecx: gen {gen:?} for {} paths ({} solver queries); exec x3 {exec:?}",
+        space.paths.len(),
+        space.solver_queries
+    );
+    println!(
+        "[E6] generation/execution ratio per test: {:.1} (paper: generation dominates)",
+        gen.as_secs_f64() / exec.as_secs_f64().max(1e-9)
+    );
+    for threads in [1usize, 2] {
+        let t = Instant::now();
+        let _ = run_cross_validation(PipelineConfig {
+            first_byte: Some(0x80),
+            max_paths_per_insn: 32,
+            threads,
+            ..PipelineConfig::default()
+        });
+        println!("[E6] pipeline (opcode 0x80) with {threads} threads: {:?}", t.elapsed());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let baseline = baseline_snapshot();
+    let mut g = c.benchmark_group("e6");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("generation_unit", |b| {
+        b.iter(|| explore_state_space(&[0x74, 0x02], &baseline, StateSpaceConfig { max_paths: 16, ..Default::default() }))
+    });
+    let prog = pokemu::testgen::TestProgram::baseline_only("e6".into(), &[0x90]).unwrap();
+    g.bench_function("execution_unit", |b| b.iter(|| run_on_all_targets(&prog, Fidelity::QEMU_LIKE)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Shared helpers for the PokeEMU-rs benchmark suite.
+//!
+//! Every bench regenerates one experiment of the paper's evaluation
+//! (see DESIGN.md's experiment index and EXPERIMENTS.md for the results):
+//! it prints the measured table rows and times the dominant computation
+//! with Criterion.
+
+/// A tiny deterministic opcode set exercising all decode forms, used by
+/// benches that sweep instructions.
+pub const SWEEP_BYTES: &[u8] = &[0x50, 0x74, 0xc9, 0xf7];

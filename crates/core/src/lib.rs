@@ -1,0 +1,46 @@
+//! # PokeEMU-rs
+//!
+//! A from-scratch Rust reproduction of *"Path-Exploration Lifting: Hi-Fi
+//! Tests for Lo-Fi Emulators"* (Martignoni, McCamant, Poosankam, Song,
+//! Maniatis — ASPLOS 2012).
+//!
+//! The facade crate re-exports the whole system:
+//!
+//! * [`solver`] — a from-scratch QF_BV decision procedure (STP/Z3 stand-in);
+//! * [`symx`] — the online symbolic execution engine (FuzzBALL analogue);
+//! * [`isa`] — the VX86 guest ISA: decoder, protection machinery, and
+//!   reference semantics generic over a value domain;
+//! * [`hifi`] — the Hi-Fi interpreter emulator (Bochs analogue);
+//! * [`lofi`] — the Lo-Fi dynamic binary translator (QEMU analogue);
+//! * [`hwref`] — the hardware oracle behind a simulated VMM (KVM analogue);
+//! * [`explore`] — instruction-set and machine-state-space exploration;
+//! * [`testgen`] — baseline initializer, gadgets, and test programs;
+//! * [`harness`] — cross-validation, the undefined-behavior filter,
+//!   root-cause clustering, and the random-testing baseline.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use pokemu::harness::{run_cross_validation, PipelineConfig};
+//!
+//! // Explore every instruction starting with byte 0xC9 (`leave`), generate
+//! // tests, run them on all three targets, and cluster the differences.
+//! let report = run_cross_validation(PipelineConfig {
+//!     first_byte: Some(0xc9),
+//!     ..PipelineConfig::default()
+//! });
+//! println!("{} paths, {} Lo-Fi differences", report.total_paths, report.lofi_differences);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pokemu_explore as explore;
+pub use pokemu_harness as harness;
+pub use pokemu_hifi as hifi;
+pub use pokemu_hwref as hwref;
+pub use pokemu_isa as isa;
+pub use pokemu_lofi as lofi;
+pub use pokemu_solver as solver;
+pub use pokemu_symx as symx;
+pub use pokemu_testgen as testgen;

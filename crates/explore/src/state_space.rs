@@ -1,0 +1,231 @@
+//! Machine-state-space exploration (paper §3.3) and test-state extraction.
+//!
+//! For one test instruction, symbolically executes the Hi-Fi emulator's
+//! implementation from the symbolic machine state of Figure 3, one path per
+//! distinct behavior. Each path's solver model is minimized against the
+//! baseline (§3.4) and converted into a [`pokemu_testgen::TestState`] — the
+//! exact list of initializer gadgets needed to retrigger that path at run
+//! time.
+
+use pokemu_isa::interp::{self, Quirks, StepOutcome};
+use pokemu_isa::snapshot::Snapshot;
+use pokemu_isa::translate::{descriptor_checks, DESC_SUMMARY_KEY};
+use pokemu_symx::{minimize, Dom, Executor, ExploreConfig, MinimizeStats};
+use pokemu_testgen::{layout, TestProgram, TestState};
+
+use crate::symstate;
+
+/// How a path through the instruction implementation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathEnd {
+    /// The instruction retired normally.
+    Retired,
+    /// The CPU halted.
+    Halted,
+    /// An exception with this vector was raised.
+    Exception(u8),
+    /// The instruction bytes failed to decode (should not happen for
+    /// representatives from instruction-space exploration).
+    DecodeFault(u8),
+}
+
+/// One explored path, with its extracted test state.
+#[derive(Debug, Clone)]
+pub struct PathTest {
+    /// How the Hi-Fi emulator's path ended.
+    pub end: PathEnd,
+    /// The minimized machine-state difference that triggers the path.
+    pub state: TestState,
+    /// Number of branch conditions on the path.
+    pub pc_len: usize,
+    /// Minimization statistics (E8).
+    pub minimize: MinimizeStats,
+}
+
+/// Exploration result for one instruction.
+#[derive(Debug)]
+pub struct StateSpace {
+    /// The instruction bytes explored.
+    pub insn: Vec<u8>,
+    /// One entry per explored path.
+    pub paths: Vec<PathTest>,
+    /// Complete path coverage achieved (the 95% criterion of §6.1).
+    pub complete: bool,
+    /// Engine statistics.
+    pub solver_queries: u64,
+}
+
+/// Configuration for state-space exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct StateSpaceConfig {
+    /// Per-instruction path cap (8192 in the paper, §6.1).
+    pub max_paths: usize,
+    /// Use the descriptor-load summary (§3.3.2). Disabled by the E7
+    /// ablation to measure the blowup it prevents.
+    pub use_summaries: bool,
+    /// Skip state-difference minimization (E8 ablation).
+    pub minimize: bool,
+}
+
+impl Default for StateSpaceConfig {
+    fn default() -> Self {
+        StateSpaceConfig { max_paths: 8192, use_summaries: true, minimize: true }
+    }
+}
+
+/// Explores the machine-state space of one instruction on the Hi-Fi
+/// emulator's semantics.
+pub fn explore_state_space(
+    insn: &[u8],
+    baseline: &Snapshot,
+    config: StateSpaceConfig,
+) -> StateSpace {
+    let mut exec = Executor::with_config(ExploreConfig {
+        max_paths: config.max_paths,
+        ..ExploreConfig::default()
+    });
+
+    if config.use_summaries {
+        let summary = exec.summarize(
+            &[(32, "lo"), (32, "hi"), (16, "sel"), (2, "cpl"), (2, "kind")],
+            |e, f| descriptor_checks(e, f[0], f[1], f[2], f[3], f[4]).to_vec(),
+        );
+        exec.register_summary(DESC_SUMMARY_KEY, summary);
+    }
+
+    let mem_template = {
+        // Build inside a throwaway exploration so on-demand variables exist
+        // consistently; the template itself is deterministic.
+        symstate::symbolic_memory_template(&mut exec, baseline)
+    };
+
+    let insn_owned: Vec<u8> = insn.to_vec();
+    let quirks = Quirks::HIFI;
+    let result = exec.explore(|e| {
+        let mut m = symstate::symbolic_machine(e, baseline, &mem_template);
+        // Decode from the concrete test bytes — exploration starts after
+        // fetch/decode (§3.4).
+        let decoded = pokemu_isa::decode(e, |d, i| {
+            Ok(d.constant(8, *insn_owned.get(i as usize).unwrap_or(&0) as u64))
+        });
+        let inst = match decoded {
+            Ok(i) => i,
+            Err(fault) => return PathEnd::DecodeFault(fault.vector()),
+        };
+        match interp::execute_decoded(e, &mut m, &quirks, &inst, layout::CODE_BASE) {
+            StepOutcome::Normal => PathEnd::Retired,
+            StepOutcome::Halt => PathEnd::Halted,
+            StepOutcome::Exception(ex) => PathEnd::Exception(ex.vector()),
+        }
+    });
+
+    let env = symstate::baseline_env(&exec, baseline);
+    let mut paths = Vec::with_capacity(result.paths.len());
+    for p in &result.paths {
+        let (model, mstats) = if config.minimize {
+            minimize(exec.pool(), &p.path_condition, &p.model, &env)
+        } else {
+            (p.model.clone(), MinimizeStats::default())
+        };
+        // Extract the state difference as gadget items.
+        let mut items = Vec::new();
+        for (name, var) in exec.named_vars() {
+            let Some(val) = model.value(var) else { continue };
+            let base = symstate::baseline_value_of(&name, baseline);
+            if val != base {
+                if let Some(item) = symstate::state_item_of(&name, val) {
+                    items.push(item);
+                }
+            }
+        }
+        paths.push(PathTest {
+            end: p.value,
+            state: TestState { items },
+            pc_len: p.path_condition.len(),
+            minimize: mstats,
+        });
+    }
+    StateSpace {
+        insn: insn.to_vec(),
+        paths,
+        complete: result.complete,
+        solver_queries: exec.stats().solver_queries,
+    }
+}
+
+/// Converts a state-space exploration into runnable test programs
+/// (paper §4: one test program per explored path).
+pub fn to_test_programs(space: &StateSpace, name_prefix: &str) -> Vec<TestProgram> {
+    space
+        .paths
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            TestProgram::build(
+                format!("{name_prefix}/path{i}"),
+                p.state.clone(),
+                &space.insn,
+            )
+            .ok()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_snapshot;
+
+    fn small_config() -> StateSpaceConfig {
+        StateSpaceConfig { max_paths: 512, use_summaries: true, minimize: true }
+    }
+
+    #[test]
+    fn clc_is_a_single_path() {
+        // clc (F8) touches only CF: no symbolic branches at all.
+        let baseline = baseline_snapshot();
+        let space = explore_state_space(&[0xf8], &baseline, small_config());
+        assert!(space.complete);
+        assert_eq!(space.paths.len(), 1);
+        assert_eq!(space.paths[0].end, PathEnd::Retired);
+        // The minimized test state should be (near) empty: nothing is
+        // constrained.
+        assert!(space.paths[0].state.items.is_empty(), "{:?}", space.paths[0].state);
+    }
+
+    #[test]
+    fn conditional_jump_has_two_flag_paths() {
+        // jz +2 (74 02): branches on ZF only.
+        let baseline = baseline_snapshot();
+        let space = explore_state_space(&[0x74, 0x02], &baseline, small_config());
+        assert!(space.complete);
+        assert_eq!(space.paths.len(), 2);
+        // One path must constrain EFLAGS away from the baseline (ZF set).
+        let constrained: Vec<_> = space
+            .paths
+            .iter()
+            .filter(|p| !p.state.items.is_empty())
+            .collect();
+        assert_eq!(constrained.len(), 1, "{:?}", space.paths);
+    }
+
+    #[test]
+    fn div_explores_fault_and_success() {
+        // div ecx (F7 F1): divide-by-zero, overflow, and success paths.
+        let baseline = baseline_snapshot();
+        let space = explore_state_space(&[0xf7, 0xf1], &baseline, small_config());
+        assert!(space.complete);
+        let ends: std::collections::HashSet<_> = space.paths.iter().map(|p| p.end).collect();
+        assert!(ends.contains(&PathEnd::Exception(0)), "divide error explored: {ends:?}");
+        assert!(ends.contains(&PathEnd::Retired), "success explored: {ends:?}");
+        // A divide-by-zero path exists; ECX is zero at baseline already, so
+        // its minimized test state needs few items.
+        let de = space
+            .paths
+            .iter()
+            .filter(|p| p.end == PathEnd::Exception(0))
+            .min_by_key(|p| p.state.items.len())
+            .expect("divide-by-zero path");
+        assert!(de.state.items.len() <= 1, "{:?}", de.state);
+    }
+}

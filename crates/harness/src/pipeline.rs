@@ -1,0 +1,188 @@
+//! The end-to-end PokeEMU pipeline (paper Fig. 1): instruction-set
+//! exploration → per-instruction state-space exploration → test-program
+//! generation → execution on every target → difference analysis.
+//!
+//! Generation and execution are both embarrassingly parallel (the paper ran
+//! on 3×8-core EC2 instances, §6); [`run_cross_validation`] fans out over
+//! worker threads with `crossbeam` scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pokemu_explore::{
+    explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
+};
+use pokemu_isa::snapshot::Snapshot;
+use pokemu_lofi::Fidelity;
+use pokemu_testgen::TestProgram;
+
+use crate::compare::{compare, Clusters};
+use crate::targets::{baseline_snapshot, HardwareTarget, HiFiTarget, LofiTarget, Target};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Restrict instruction-space exploration to one first byte
+    /// (None = the whole space).
+    pub first_byte: Option<u8>,
+    /// Restrict the second byte as well (e.g. one two-byte opcode).
+    pub second_byte: Option<u8>,
+    /// Cap on unique instructions taken from instruction exploration.
+    pub max_instructions: usize,
+    /// Per-instruction path cap (8192 in the paper).
+    pub max_paths_per_insn: usize,
+    /// Lo-Fi fidelity profile under test.
+    pub lofi_fidelity: Fidelity,
+    /// Worker threads for generation and execution.
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            first_byte: None,
+            second_byte: None,
+            max_instructions: usize::MAX,
+            max_paths_per_insn: 8192,
+            lofi_fidelity: Fidelity::QEMU_LIKE,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+/// Counters for the whole run (the §6 headline numbers).
+#[derive(Debug, Default, Clone)]
+pub struct CrossValidation {
+    /// Candidate byte sequences found by decoder exploration.
+    pub candidates: usize,
+    /// Unique instructions selected.
+    pub unique_instructions: usize,
+    /// Instructions whose state space was exhaustively explored.
+    pub fully_explored: usize,
+    /// Total explored paths (= generated test programs).
+    pub total_paths: usize,
+    /// Tests whose Lo-Fi behavior differs from the hardware oracle
+    /// (raw, before the undefined-behavior filter — the paper's headline
+    /// counting).
+    pub lofi_differences: usize,
+    /// Tests whose Hi-Fi behavior differs from the hardware oracle (raw).
+    pub hifi_differences: usize,
+    /// Lo-Fi differences surviving the undefined-behavior filter.
+    pub lofi_filtered: usize,
+    /// Hi-Fi differences surviving the undefined-behavior filter.
+    pub hifi_filtered: usize,
+    /// Root-cause clusters for Lo-Fi differences.
+    pub lofi_clusters: Clusters,
+    /// Root-cause clusters for Hi-Fi differences.
+    pub hifi_clusters: Clusters,
+}
+
+/// The result of running one test on all three targets.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// Test identity.
+    pub name: String,
+    /// Hardware-oracle snapshot.
+    pub hardware: Snapshot,
+    /// Hi-Fi snapshot.
+    pub hifi: Snapshot,
+    /// Lo-Fi snapshot.
+    pub lofi: Snapshot,
+}
+
+/// Runs one test program on all three targets (paper Fig. 1 step 4).
+pub fn run_on_all_targets(prog: &TestProgram, lofi_fidelity: Fidelity) -> CaseOutcome {
+    let hardware = HardwareTarget.run_program(prog);
+    let hifi = HiFiTarget.run_program(prog);
+    let lofi = LofiTarget { fidelity: lofi_fidelity }.run_program(prog);
+    CaseOutcome { name: prog.name.clone(), hardware, hifi, lofi }
+}
+
+/// Generates the test programs for one instruction representative.
+pub fn generate_for_instruction(
+    name: &str,
+    insn: &[u8],
+    baseline: &Snapshot,
+    max_paths: usize,
+) -> (Vec<TestProgram>, bool) {
+    let space = explore_state_space(
+        insn,
+        baseline,
+        StateSpaceConfig { max_paths, ..StateSpaceConfig::default() },
+    );
+    let progs = pokemu_explore::to_test_programs(&space, name);
+    (progs, space.complete)
+}
+
+/// Runs the complete cross-validation pipeline.
+pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
+    let baseline = baseline_snapshot();
+
+    // Step 1: instruction-set exploration (Fig. 1 (1)).
+    let insn_space = explore_instruction_space(InsnSpaceConfig {
+        first_byte: config.first_byte,
+        second_byte: config.second_byte,
+        ..InsnSpaceConfig::default()
+    });
+    let mut reps = insn_space.classes;
+    reps.truncate(config.max_instructions);
+
+    let mut out = CrossValidation {
+        candidates: insn_space.candidates,
+        unique_instructions: reps.len(),
+        ..CrossValidation::default()
+    };
+
+    // Steps 2-5, parallel over instructions.
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(String, bool, usize, Vec<(String, Vec<u8>, CaseOutcome)>)>> =
+        Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(rep) = reps.get(i) else { break };
+                let name = rep.class.to_string();
+                let (progs, complete) = generate_for_instruction(
+                    &name,
+                    &rep.bytes,
+                    &baseline,
+                    config.max_paths_per_insn,
+                );
+                let mut cases = Vec::with_capacity(progs.len());
+                for p in &progs {
+                    let case = run_on_all_targets(p, config.lofi_fidelity);
+                    cases.push((p.name.clone(), p.test_insn.clone(), case));
+                }
+                results.lock().expect("no poisoning").push((name, complete, progs.len(), cases));
+            });
+        }
+    })
+    .expect("worker threads join");
+
+    let mut results = results.into_inner().expect("no poisoning");
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_name, complete, n_paths, cases) in results {
+        if complete {
+            out.fully_explored += 1;
+        }
+        out.total_paths += n_paths;
+        for (case_name, insn, case) in cases {
+            if !case.hardware.same_behavior(&case.lofi) {
+                out.lofi_differences += 1;
+            }
+            if !case.hardware.same_behavior(&case.hifi) {
+                out.hifi_differences += 1;
+            }
+            if let Some(d) = compare(&case.hardware, &case.lofi, &insn) {
+                out.lofi_filtered += 1;
+                out.lofi_clusters.add(&case_name, &d);
+            }
+            if let Some(d) = compare(&case.hardware, &case.hifi, &insn) {
+                out.hifi_filtered += 1;
+                out.hifi_clusters.add(&case_name, &d);
+            }
+        }
+    }
+    out
+}

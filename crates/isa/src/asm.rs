@@ -1,0 +1,288 @@
+//! A small assembler for building test programs.
+//!
+//! The test-program generator (paper §4) emits short instruction sequences —
+//! baseline initializers, state-initializer gadgets, test instructions — as
+//! raw bytes. This module provides typed encoders for exactly the
+//! instructions those sequences need, plus a generic escape hatch. Encoders
+//! and the decoder are independent implementations, so round-trip property
+//! tests cross-check both.
+
+use crate::state::{Gpr, Seg};
+
+/// An instruction-sequence builder.
+///
+/// # Examples
+///
+/// ```
+/// use pokemu_isa::asm::Asm;
+/// use pokemu_isa::state::Gpr;
+///
+/// let mut a = Asm::new();
+/// a.mov_r32_imm32(Gpr::Esp, 0x0020_07dc);
+/// a.push_r32(Gpr::Eax);
+/// a.hlt();
+/// assert_eq!(a.bytes(), &[0xbc, 0xdc, 0x07, 0x20, 0x00, 0x50, 0xf4]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Asm {
+    out: Vec<u8>,
+}
+
+impl Asm {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assembled bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Consumes the builder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been assembled yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Appends raw bytes (the escape hatch for test instructions).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.out.extend_from_slice(bytes);
+        self
+    }
+
+    fn imm32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn imm16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `mov r32, imm32`.
+    pub fn mov_r32_imm32(&mut self, r: Gpr, imm: u32) -> &mut Self {
+        self.out.push(0xb8 + r as u8);
+        self.imm32(imm);
+        self
+    }
+
+    /// `mov byte [abs32], imm8` — the workhorse of test-state initializers
+    /// (Fig. 5 lines 2-3).
+    pub fn mov_m8_imm8(&mut self, addr: u32, imm: u8) -> &mut Self {
+        self.out.extend_from_slice(&[0xc6, 0x05]);
+        self.imm32(addr);
+        self.out.push(imm);
+        self
+    }
+
+    /// `mov dword [abs32], imm32`.
+    pub fn mov_m32_imm32(&mut self, addr: u32, imm: u32) -> &mut Self {
+        self.out.extend_from_slice(&[0xc7, 0x05]);
+        self.imm32(addr);
+        self.imm32(imm);
+        self
+    }
+
+    /// `mov word [abs32], imm16`.
+    pub fn mov_m16_imm16(&mut self, addr: u32, imm: u16) -> &mut Self {
+        self.out.extend_from_slice(&[0x66, 0xc7, 0x05]);
+        self.imm32(addr);
+        self.imm16(imm);
+        self
+    }
+
+    /// `mov ax, imm16` (Fig. 5 line 4).
+    pub fn mov_ax_imm16(&mut self, imm: u16) -> &mut Self {
+        self.out.extend_from_slice(&[0x66, 0xb8]);
+        self.imm16(imm);
+        self
+    }
+
+    /// `mov sreg, ax` (Fig. 5 line 5).
+    pub fn mov_sreg_ax(&mut self, seg: Seg) -> &mut Self {
+        self.out.extend_from_slice(&[0x8e, 0xc0 | ((seg as u8) << 3)]);
+        self
+    }
+
+    /// `push r32`.
+    pub fn push_r32(&mut self, r: Gpr) -> &mut Self {
+        self.out.push(0x50 + r as u8);
+        self
+    }
+
+    /// `pop r32`.
+    pub fn pop_r32(&mut self, r: Gpr) -> &mut Self {
+        self.out.push(0x58 + r as u8);
+        self
+    }
+
+    /// `push imm32`.
+    pub fn push_imm32(&mut self, imm: u32) -> &mut Self {
+        self.out.push(0x68);
+        self.imm32(imm);
+        self
+    }
+
+    /// `popf`.
+    pub fn popf(&mut self) -> &mut Self {
+        self.out.push(0x9d);
+        self
+    }
+
+    /// `pushf`.
+    pub fn pushf(&mut self) -> &mut Self {
+        self.out.push(0x9c);
+        self
+    }
+
+    /// `mov cr0, eax`.
+    pub fn mov_cr0_eax(&mut self) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x22, 0xc0]);
+        self
+    }
+
+    /// `mov cr3, eax`.
+    pub fn mov_cr3_eax(&mut self) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x22, 0xd8]);
+        self
+    }
+
+    /// `mov cr4, eax`.
+    pub fn mov_cr4_eax(&mut self) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x22, 0xe0]);
+        self
+    }
+
+    /// `mov eax, cr0`.
+    pub fn mov_eax_cr0(&mut self) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x20, 0xc0]);
+        self
+    }
+
+    /// `lgdt [abs32]`.
+    pub fn lgdt(&mut self, addr: u32) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x01, 0x15]);
+        self.imm32(addr);
+        self
+    }
+
+    /// `lidt [abs32]`.
+    pub fn lidt(&mut self, addr: u32) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x01, 0x1d]);
+        self.imm32(addr);
+        self
+    }
+
+    /// `wrmsr`.
+    pub fn wrmsr(&mut self) -> &mut Self {
+        self.out.extend_from_slice(&[0x0f, 0x30]);
+        self
+    }
+
+    /// `jmp far sel:off` (reloads CS).
+    pub fn jmp_far(&mut self, sel: u16, off: u32) -> &mut Self {
+        self.out.push(0xea);
+        self.imm32(off);
+        self.imm16(sel);
+        self
+    }
+
+    /// `hlt` — every test program ends with it (Fig. 5 line 8).
+    pub fn hlt(&mut self) -> &mut Self {
+        self.out.push(0xf4);
+        self
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.out.push(0x90);
+        self
+    }
+
+    /// `sti` / `cli`.
+    pub fn sti(&mut self) -> &mut Self {
+        self.out.push(0xfb);
+        self
+    }
+
+    /// `cli`.
+    pub fn cli(&mut self) -> &mut Self {
+        self.out.push(0xfa);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use pokemu_symx::{Concrete, Dom};
+
+    fn decode_one(bytes: &[u8]) -> crate::inst::Inst<pokemu_symx::CVal> {
+        let mut d = Concrete::new();
+        let owned = bytes.to_vec();
+        decode(&mut d, move |d, i| {
+            Ok(d.constant(8, *owned.get(i as usize).unwrap_or(&0) as u64))
+        })
+        .expect("assembler output must decode")
+    }
+
+    #[test]
+    fn assembler_output_decodes() {
+        let mut a = Asm::new();
+        a.mov_r32_imm32(Gpr::Esp, 0x2007dc);
+        let i = decode_one(a.bytes());
+        assert_eq!(i.class.opcode, 0xb8 + Gpr::Esp as u16);
+        assert_eq!(i.len as usize, a.len());
+
+        let mut a = Asm::new();
+        a.mov_m8_imm8(0x208055, 0x13);
+        let i = decode_one(a.bytes());
+        assert_eq!(i.class.opcode, 0xc6);
+        assert_eq!(i.len as usize, a.len());
+
+        let mut a = Asm::new();
+        a.mov_sreg_ax(Seg::Ss);
+        let i = decode_one(a.bytes());
+        assert_eq!(i.class.opcode, 0x8e);
+        assert_eq!(i.modrm.unwrap().reg, Seg::Ss as u8);
+
+        let mut a = Asm::new();
+        a.lgdt(0x1000);
+        let i = decode_one(a.bytes());
+        assert_eq!(i.class.opcode, 0x0f01);
+        assert_eq!(i.class.group_reg, Some(2));
+    }
+
+    #[test]
+    fn figure5_sequence_assembles() {
+        // The paper's Fig. 5 test program for `push %eax`.
+        let mut a = Asm::new();
+        a.mov_r32_imm32(Gpr::Esp, 0x002007dc)
+            .mov_m8_imm8(0x00208055, 0x13)
+            .mov_m8_imm8(0x00208056, 0xcf)
+            .mov_ax_imm16(0x0050)
+            .mov_sreg_ax(Seg::Ss)
+            .mov_r32_imm32(Gpr::Eax, 0)
+            .raw(&[0xff, 0xf0]) // push %eax (FF /6 register form)
+            .hlt();
+        assert!(a.len() > 20);
+        // Every instruction in the sequence must decode.
+        let mut off = 0usize;
+        let bytes = a.bytes().to_vec();
+        while off < bytes.len() {
+            let i = decode_one(&bytes[off..]);
+            off += i.len as usize;
+        }
+        assert_eq!(off, bytes.len());
+    }
+}

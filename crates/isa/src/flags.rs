@@ -1,0 +1,303 @@
+//! EFLAGS computation, including architecturally-undefined results.
+//!
+//! Undefined flags are a root-cause class in the paper's evaluation ("some
+//! arithmetic and logical instructions differently update some status flags
+//! (documented as undefined)", §6.2). We model them explicitly: every flag
+//! writer reports a *defined* set and an *undefined* set, and an
+//! [`UndefPolicy`] chooses the undefined bits' values. Hardware, the Hi-Fi
+//! emulator, and the Lo-Fi emulator each use a different policy, so the
+//! cross-validation sees exactly the kind of benign-but-fingerprintable
+//! differences the paper describes, and the harness's undefined-behavior
+//! filter can mask them (§6.2).
+
+use pokemu_symx::Dom;
+
+use crate::state::flags::*;
+
+/// Values for architecturally-undefined flag results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UndefPolicy {
+    /// Model of the physical CPU: undefined flags follow the internal ALU
+    /// result (e.g. SF/PF track the low half after `mul`).
+    #[default]
+    HwModel,
+    /// Bochs-like: undefined flags are cleared.
+    Clear,
+    /// QEMU-like lazy flags: undefined flags keep their previous value.
+    Unchanged,
+}
+
+/// A computed set of status-flag values (each width 1).
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSet<V> {
+    /// Carry.
+    pub cf: V,
+    /// Parity (of the low result byte).
+    pub pf: V,
+    /// Auxiliary carry (bit 3 -> 4).
+    pub af: V,
+    /// Zero.
+    pub zf: V,
+    /// Sign.
+    pub sf: V,
+    /// Overflow.
+    pub of: V,
+}
+
+/// Bitmask over EFLAGS of the six status flags, used in defined/undefined
+/// masks below.
+pub const ALL_STATUS: u32 = STATUS;
+
+/// Parity flag: 1 when the low 8 bits of `r` have even population.
+pub fn parity<D: Dom>(d: &mut D, r: D::V) -> D::V {
+    let mut acc = d.extract(r, 0, 0);
+    for i in 1..8 {
+        let b = d.extract(r, i, i);
+        acc = d.xor(acc, b);
+    }
+    d.not(acc)
+}
+
+/// Zero flag for a result of any width.
+pub fn zero<D: Dom>(d: &mut D, r: D::V) -> D::V {
+    let w = d.width(r);
+    let z = d.constant(w, 0);
+    d.eq(r, z)
+}
+
+/// Sign flag (MSB) for a result of any width.
+pub fn sign<D: Dom>(d: &mut D, r: D::V) -> D::V {
+    let w = d.width(r);
+    d.extract(r, w - 1, w - 1)
+}
+
+fn common<D: Dom>(d: &mut D, r: D::V) -> (D::V, D::V, D::V) {
+    (parity(d, r), zero(d, r), sign(d, r))
+}
+
+/// Flags for `r = a + b (+ carry_in)`.
+pub fn add_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, carry_in: Option<D::V>, r: D::V) -> FlagSet<D::V> {
+    let w = d.width(a);
+    // Carry: compute in w+1 bits.
+    let aw = d.zext(a, w + 1);
+    let bw = d.zext(b, w + 1);
+    let mut sum = d.add(aw, bw);
+    if let Some(c) = carry_in {
+        let cw = d.zext(c, w + 1);
+        sum = d.add(sum, cw);
+    }
+    let cf = d.extract(sum, w, w);
+    // Overflow: both operands same sign, result different.
+    let ax = d.xor(a, r);
+    let bx = d.xor(b, r);
+    let both = d.and(ax, bx);
+    let of = d.extract(both, w - 1, w - 1);
+    // Aux carry: carry from bit 3 to 4.
+    let t = d.xor(a, b);
+    let t = d.xor(t, r);
+    let af = d.extract(t, 4, 4);
+    let (pf, zf, sf) = common(d, r);
+    FlagSet { cf, pf, af, zf, sf, of }
+}
+
+/// Flags for `r = a - b (- borrow_in)`.
+pub fn sub_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, borrow_in: Option<D::V>, r: D::V) -> FlagSet<D::V> {
+    let w = d.width(a);
+    let aw = d.zext(a, w + 1);
+    let bw = d.zext(b, w + 1);
+    let mut diff = d.sub(aw, bw);
+    if let Some(c) = borrow_in {
+        let cw = d.zext(c, w + 1);
+        diff = d.sub(diff, cw);
+    }
+    let cf = d.extract(diff, w, w); // borrow out
+    let ab = d.xor(a, b);
+    let ar = d.xor(a, r);
+    let both = d.and(ab, ar);
+    let of = d.extract(both, w - 1, w - 1);
+    let t = d.xor(a, b);
+    let t = d.xor(t, r);
+    let af = d.extract(t, 4, 4);
+    let (pf, zf, sf) = common(d, r);
+    FlagSet { cf, pf, af, zf, sf, of }
+}
+
+/// Flags for logical operations (`and`/`or`/`xor`/`test`): CF = OF = 0,
+/// AF architecturally undefined.
+pub fn logic_flags<D: Dom>(d: &mut D, r: D::V) -> FlagSet<D::V> {
+    let zero1 = d.ff();
+    let (pf, zf, sf) = common(d, r);
+    FlagSet { cf: zero1, pf, af: zero1, zf, sf, of: zero1 }
+}
+
+/// Inserts the width-1 value `bit` at position `pos` of the 32-bit `word`.
+pub fn insert_bit<D: Dom>(d: &mut D, word: D::V, pos: u8, bit: D::V) -> D::V {
+    let mask = d.constant(32, !(1u64 << pos) & 0xffff_ffff);
+    let cleared = d.and(word, mask);
+    let ext = d.zext(bit, 32);
+    let pos_c = d.constant(32, pos as u64);
+    let shifted = d.shl(ext, pos_c);
+    d.or(cleared, shifted)
+}
+
+/// Reads bit `pos` of `word` as a width-1 value.
+pub fn get_bit<D: Dom>(d: &mut D, word: D::V, pos: u8) -> D::V {
+    d.extract(word, pos, pos)
+}
+
+/// Applies a [`FlagSet`] to EFLAGS.
+///
+/// `defined` and `undefined` are bitmasks over the six status flags; bits in
+/// `defined` take their [`FlagSet`] value, bits in `undefined` follow
+/// `policy`, and all remaining flag bits are preserved.
+pub fn apply_flags<D: Dom>(
+    d: &mut D,
+    eflags: D::V,
+    set: &FlagSet<D::V>,
+    defined: u32,
+    undefined: u32,
+    policy: UndefPolicy,
+) -> D::V {
+    let mut out = eflags;
+    let pairs: [(u8, D::V); 6] =
+        [(CF, set.cf), (PF, set.pf), (AF, set.af), (ZF, set.zf), (SF, set.sf), (OF, set.of)];
+    for (pos, val) in pairs {
+        let bit = 1u32 << pos;
+        if defined & bit != 0 {
+            out = insert_bit(d, out, pos, val);
+        } else if undefined & bit != 0 {
+            match policy {
+                UndefPolicy::HwModel => out = insert_bit(d, out, pos, val),
+                UndefPolicy::Clear => {
+                    let z = d.ff();
+                    out = insert_bit(d, out, pos, z);
+                }
+                UndefPolicy::Unchanged => {}
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates the x86 condition code `cc` (0..=15) against EFLAGS.
+pub fn condition<D: Dom>(d: &mut D, eflags: D::V, cc: u8) -> D::V {
+    let cf = get_bit(d, eflags, CF);
+    let zf = get_bit(d, eflags, ZF);
+    let sf = get_bit(d, eflags, SF);
+    let of = get_bit(d, eflags, OF);
+    let pf = get_bit(d, eflags, PF);
+    let base = match cc >> 1 {
+        0 => of,                                 // O
+        1 => cf,                                 // B
+        2 => zf,                                 // E
+        3 => d.or(cf, zf),                       // BE
+        4 => sf,                                 // S
+        5 => pf,                                 // P
+        6 => d.xor(sf, of),                      // L
+        _ => {
+            let l = d.xor(sf, of);
+            d.or(zf, l)                          // LE
+        }
+    };
+    if cc & 1 == 1 {
+        d.not(base)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pokemu_symx::{Concrete, Dom};
+
+    fn c(v: u64, w: u8) -> (Concrete, pokemu_symx::CVal) {
+        let mut d = Concrete::new();
+        let x = d.constant(w, v);
+        (d, x)
+    }
+
+    fn run_add(a: u64, b: u64, w: u8) -> (u64, FlagSet<pokemu_symx::CVal>) {
+        let mut d = Concrete::new();
+        let av = d.constant(w, a);
+        let bv = d.constant(w, b);
+        let r = d.add(av, bv);
+        let f = add_flags(&mut d, av, bv, None, r);
+        (d.as_const(r).unwrap(), f)
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let (r, f) = run_add(0xff, 1, 8);
+        assert_eq!(r, 0);
+        assert_eq!(f.cf.v, 1);
+        assert_eq!(f.zf.v, 1);
+        assert_eq!(f.of.v, 0);
+        let (_, f) = run_add(0x7f, 1, 8);
+        assert_eq!(f.of.v, 1, "0x7f + 1 overflows signed");
+        assert_eq!(f.cf.v, 0);
+        assert_eq!(f.sf.v, 1);
+        assert_eq!(f.af.v, 1);
+    }
+
+    #[test]
+    fn sub_borrow() {
+        let mut d = Concrete::new();
+        let a = d.constant(32, 1);
+        let b = d.constant(32, 2);
+        let r = d.sub(a, b);
+        let f = sub_flags(&mut d, a, b, None, r);
+        assert_eq!(f.cf.v, 1, "1 - 2 borrows");
+        assert_eq!(f.sf.v, 1);
+        assert_eq!(f.of.v, 0);
+    }
+
+    #[test]
+    fn parity_of_low_byte_only() {
+        let (mut d, x) = c(0x1_03, 16); // low byte 0x03: two bits set -> PF=1
+        assert_eq!(parity(&mut d, x).v, 1);
+        let (mut d, x) = c(0x1_07, 16); // three bits -> PF=0
+        assert_eq!(parity(&mut d, x).v, 0);
+    }
+
+    #[test]
+    fn condition_codes() {
+        let mut d = Concrete::new();
+        // ZF=1
+        let fl = d.constant(32, 1 << ZF as u64);
+        assert_eq!(condition(&mut d, fl, 0x4).v, 1); // JE
+        assert_eq!(condition(&mut d, fl, 0x5).v, 0); // JNE
+        // SF=1, OF=0 -> less
+        let fl = d.constant(32, 1 << SF as u64);
+        assert_eq!(condition(&mut d, fl, 0xc).v, 1); // JL
+        assert_eq!(condition(&mut d, fl, 0xd).v, 0); // JGE
+    }
+
+    #[test]
+    fn undef_policies_differ() {
+        let mut d = Concrete::new();
+        let ef = d.constant(32, STATUS as u64); // all status set
+        let z = d.ff();
+        let set = FlagSet { cf: z, pf: z, af: z, zf: z, sf: z, of: z };
+        // AF undefined: HwModel writes set.af (0), Clear writes 0, Unchanged keeps 1.
+        let hw = apply_flags(&mut d, ef, &set, 0, 1 << AF as u32, UndefPolicy::HwModel);
+        let cl = apply_flags(&mut d, ef, &set, 0, 1 << AF as u32, UndefPolicy::Clear);
+        let un = apply_flags(&mut d, ef, &set, 0, 1 << AF as u32, UndefPolicy::Unchanged);
+        assert_eq!(d.as_const(hw).unwrap() & (1 << AF as u32 as u64), 0);
+        assert_eq!(d.as_const(cl).unwrap() & (1 << AF as u32 as u64), 0);
+        assert_ne!(d.as_const(un).unwrap() & (1 << AF as u32 as u64), 0);
+    }
+
+    #[test]
+    fn insert_and_get_bit_roundtrip() {
+        let mut d = Concrete::new();
+        let w = d.constant(32, 0);
+        let one = d.tt();
+        let w = insert_bit(&mut d, w, OF, one);
+        assert_eq!(d.as_const(w), Some(1 << OF as u64));
+        assert_eq!(get_bit(&mut d, w, OF).v, 1);
+        let zero1 = d.ff();
+        let w = insert_bit(&mut d, w, OF, zero1);
+        assert_eq!(d.as_const(w), Some(0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Decoded instruction representation.
+//!
+//! A decoded instruction separates the parts the decoder *dispatches on*
+//! (prefixes, opcode, ModRM fields — always concrete, forced by
+//! [`pokemu_symx::Dom::concretize`] during decoding) from the parts that flow
+//! as *data* (displacements and immediates — domain values, possibly
+//! symbolic). This mirrors how real emulators structure decoding: tables
+//! switch on opcode bytes while immediates are copied into the decoded form.
+
+use crate::state::{Gpr, Seg};
+
+/// Repeat prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rep {
+    /// `F3` — REP / REPE.
+    RepE,
+    /// `F2` — REPNE.
+    RepNe,
+}
+
+/// The identity of an instruction's *per-instruction code* (paper §3.2).
+///
+/// Byte sequences with equal `InstClass` run the same emulator
+/// implementation; the exploration selects one representative per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstClass {
+    /// Opcode: `0x00..=0xFF` for one-byte, `0x0F00 | b` for two-byte.
+    pub opcode: u16,
+    /// ModRM `reg` field for group opcodes (sub-opcode selection).
+    pub group_reg: Option<u8>,
+    /// Whether the ModRM operand is memory (`Some(true)`), a register
+    /// (`Some(false)`), or absent (`None`). Register vs. memory forms have
+    /// distinct per-instruction code in both emulators.
+    pub mem_operand: Option<bool>,
+    /// Whether the 0x66 operand-size prefix is active (16-bit form).
+    pub opsize16: bool,
+}
+
+impl std::fmt::Display for InstClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.opcode > 0xff {
+            write!(f, "0F{:02X}", self.opcode & 0xff)?;
+        } else {
+            write!(f, "{:02X}", self.opcode)?;
+        }
+        if let Some(g) = self.group_reg {
+            write!(f, "/{g}")?;
+        }
+        match self.mem_operand {
+            Some(true) => write!(f, " m")?,
+            Some(false) => write!(f, " r")?,
+            None => {}
+        }
+        if self.opsize16 {
+            write!(f, " o16")?;
+        }
+        Ok(())
+    }
+}
+
+/// A decoded memory operand (effective address ingredients).
+#[derive(Debug, Clone, Copy)]
+pub struct MemOperand<V> {
+    /// Segment used for the access (after overrides and EBP/ESP defaults).
+    pub seg: Seg,
+    /// Base register, if any.
+    pub base: Option<Gpr>,
+    /// Index register and scale shift (0..=3), if any.
+    pub index: Option<(Gpr, u8)>,
+    /// 32-bit displacement (sign-extended already); may be symbolic.
+    pub disp: V,
+}
+
+/// Decoded ModRM information.
+#[derive(Debug, Clone, Copy)]
+pub struct ModRm<V> {
+    /// The `mod` field (0..=3).
+    pub mode: u8,
+    /// The `reg` field (0..=7): register operand or group sub-opcode.
+    pub reg: u8,
+    /// The `rm` field (0..=7).
+    pub rm: u8,
+    /// Decoded memory operand when `mode != 3`.
+    pub mem: Option<MemOperand<V>>,
+}
+
+/// A fully decoded instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct Inst<V> {
+    /// Equivalence class for per-instruction code selection.
+    pub class: InstClass,
+    /// Total encoded length in bytes.
+    pub len: u8,
+    /// Segment-override prefix, if present.
+    pub seg_override: Option<Seg>,
+    /// LOCK prefix present.
+    pub lock: bool,
+    /// REP/REPNE prefix, if present.
+    pub rep: Option<Rep>,
+    /// 16-bit operand size (0x66 prefix).
+    pub opsize16: bool,
+    /// ModRM, when the opcode takes one.
+    pub modrm: Option<ModRm<V>>,
+    /// Primary immediate (width 8, 16 or 32 depending on the form).
+    pub imm: Option<V>,
+    /// Secondary immediate: far-pointer selector (16) or `enter`'s level (8).
+    pub imm2: Option<V>,
+}
+
+impl<V> Inst<V> {
+    /// Operand size in bytes for "z"-sized operations (4, or 2 with 0x66).
+    pub fn opsize(&self) -> u8 {
+        if self.opsize16 {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Operand width in bits for "z"-sized operations.
+    pub fn opwidth(&self) -> u8 {
+        self.opsize() * 8
+    }
+}

@@ -1,0 +1,314 @@
+//! Control-flow instructions: branches, calls, returns, interrupts.
+
+use pokemu_symx::Dom;
+
+use crate::flags::{self, sub_flags};
+use crate::inst::Inst;
+use crate::state::flags::{OF, ZF};
+use crate::state::{Exception, Gpr, Seg};
+use crate::translate::desc_kind;
+
+use super::{Exec, ExecResult, Flow};
+
+fn rel_target<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> D::V {
+    let rel = inst.imm.expect("relative displacement");
+    let rel32 = x.d.sext(rel, 32);
+    let next = x.d.constant(32, x.m.eip as u64);
+    x.d.add(next, rel32)
+}
+
+/// Conditional jumps (`70-7F`, `0F 80-8F`).
+pub(super) fn jcc<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let cc = (inst.class.opcode & 0xf) as u8;
+    let cond = flags::condition(x.d, x.m.eflags, cc);
+    if x.d.branch(cond, "jcc condition") {
+        let t = rel_target(x, inst);
+        x.set_eip(t);
+    }
+    Ok(Flow::Next)
+}
+
+/// `loopne`/`loope`/`loop`/`jecxz` (E0-E3).
+pub(super) fn loops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let op = inst.class.opcode;
+    let taken = if op == 0xe3 {
+        let ecx = x.read_reg(Gpr::Ecx as u8, 4);
+        let z = x.d.constant(32, 0);
+        let c = x.d.eq(ecx, z);
+        x.d.branch(c, "jecxz")
+    } else {
+        let ecx = x.read_reg(Gpr::Ecx as u8, 4);
+        let one = x.d.constant(32, 1);
+        let dec = x.d.sub(ecx, one);
+        x.write_reg(Gpr::Ecx as u8, 4, dec);
+        let z = x.d.constant(32, 0);
+        let nz = x.d.ne(dec, z);
+        let zf = flags::get_bit(x.d, x.m.eflags, ZF);
+        let cond = match op {
+            0xe0 => {
+                let nzf = x.d.not(zf);
+                x.d.and(nz, nzf)
+            }
+            0xe1 => x.d.and(nz, zf),
+            _ => nz,
+        };
+        x.d.branch(cond, "loop condition")
+    };
+    if taken {
+        let t = rel_target(x, inst);
+        x.set_eip(t);
+    }
+    Ok(Flow::Next)
+}
+
+/// `call rel` (E8), `jmp rel` (E9/EB).
+pub(super) fn call_jmp_rel<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    if inst.class.opcode == 0xe8 {
+        let ret = x.d.constant(32, x.m.eip as u64);
+        x.push(ret, inst.opsize())?;
+    }
+    let t = rel_target(x, inst);
+    x.set_eip(t);
+    Ok(Flow::Next)
+}
+
+/// Indirect `call`/`jmp` through `FF /2..5`.
+pub(super) fn indirect_ff<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let g = inst.class.group_reg.expect("group");
+    match g {
+        2 => {
+            // call r/m
+            let target = x.read_rm(inst, size)?;
+            let ret = x.d.constant(32, x.m.eip as u64);
+            x.push(ret, size)?;
+            let t32 = x.d.zext(target, 32);
+            x.set_eip(t32);
+        }
+        4 => {
+            let target = x.read_rm(inst, size)?;
+            let t32 = x.d.zext(target, 32);
+            x.set_eip(t32);
+        }
+        3 | 5 => {
+            // far call/jmp through memory: m16:z
+            let mr = inst.modrm.as_ref().expect("modrm");
+            let mem = *mr.mem.as_ref().ok_or(Exception::Ud)?;
+            let off = x.effective_address(&mem);
+            let (offset, sel) = x.read_far_pointer(mem.seg, off, size)?;
+            if g == 3 {
+                far_call(x, sel, offset, size)?;
+            } else {
+                far_jump(x, sel, offset, size)?;
+            }
+        }
+        _ => return Err(Exception::Ud),
+    }
+    Ok(Flow::Next)
+}
+
+fn far_jump<D: Dom>(
+    x: &mut Exec<'_, D>,
+    sel: D::V,
+    offset: D::V,
+    size: u8,
+) -> Result<(), Exception> {
+    x.load_segment(Seg::Cs, sel, desc_kind::CODE)?;
+    let off32 = x.d.zext(offset, 32);
+    let _ = size;
+    x.set_eip(off32);
+    Ok(())
+}
+
+fn far_call<D: Dom>(
+    x: &mut Exec<'_, D>,
+    sel: D::V,
+    offset: D::V,
+    size: u8,
+) -> Result<(), Exception> {
+    let old_cs = x.m.segs[Seg::Cs as usize].selector;
+    let old_eip = x.d.constant(32, x.m.eip as u64);
+    // Validate the new CS before pushing (hardware order).
+    x.load_segment(Seg::Cs, sel, desc_kind::CODE)?;
+    let cs_z = x.d.zext(old_cs, size * 8);
+    x.push(cs_z, size)?;
+    let ret = if size == 2 { x.d.extract(old_eip, 15, 0) } else { old_eip };
+    x.push(ret, size)?;
+    let off32 = x.d.zext(offset, 32);
+    x.set_eip(off32);
+    Ok(())
+}
+
+/// Direct far `call`/`jmp` with an immediate pointer (9A / EA).
+pub(super) fn far_direct<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let offset = inst.imm.expect("far offset");
+    let sel = inst.imm2.expect("far selector");
+    if inst.class.opcode == 0x9a {
+        far_call(x, sel, offset, size)?;
+    } else {
+        far_jump(x, sel, offset, size)?;
+    }
+    Ok(Flow::Next)
+}
+
+/// Near returns (C3, C2 imm16).
+pub(super) fn ret_near<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let ret = x.pop(size)?;
+    if inst.class.opcode == 0xc2 {
+        let imm = inst.imm.expect("imm16");
+        let imm32 = x.d.zext(imm, 32);
+        let esp = x.read_reg(Gpr::Esp as u8, 4);
+        let nesp = x.d.add(esp, imm32);
+        x.write_reg(Gpr::Esp as u8, 4, nesp);
+    }
+    let r32 = x.d.zext(ret, 32);
+    x.set_eip(r32);
+    Ok(Flow::Next)
+}
+
+/// Far returns (CB, CA imm16): validate everything before committing.
+pub(super) fn ret_far<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    // Read both slots without committing ESP (reference order: offset first).
+    let eip_v = x.peek_stack(0, size)?;
+    let cs_v = x.peek_stack(size as u32, size)?;
+    x.load_segment(Seg::Cs, cs_v, desc_kind::CODE)?;
+    x.bump_esp(2 * size as i32);
+    if inst.class.opcode == 0xca {
+        let imm = inst.imm.expect("imm16");
+        let imm32 = x.d.zext(imm, 32);
+        let esp = x.read_reg(Gpr::Esp as u8, 4);
+        let nesp = x.d.add(esp, imm32);
+        x.write_reg(Gpr::Esp as u8, 4, nesp);
+    }
+    let r32 = x.d.zext(eip_v, 32);
+    x.set_eip(r32);
+    Ok(Flow::Next)
+}
+
+/// `iret`: pops EIP, CS, EFLAGS — *innermost first* on hardware and Bochs;
+/// QEMU's reversed read order is one of the paper's findings (§6.2). The
+/// reference implementation reads in ascending stack order.
+pub(super) fn iret<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let eip_v = x.peek_stack(0, size)?;
+    let cs_v = x.peek_stack(size as u32, size)?;
+    let fl_v = x.peek_stack(2 * size as u32, size)?;
+    x.load_segment(Seg::Cs, cs_v, desc_kind::CODE)?;
+    x.bump_esp(3 * size as i32);
+    super::exec_data::write_eflags(x, fl_v, size);
+    let r32 = x.d.zext(eip_v, 32);
+    x.set_eip(r32);
+    Ok(Flow::Next)
+}
+
+/// Software interrupts: `int3`, `int imm8`, `into`, `int1`.
+///
+/// The baseline IDT routes all vectors to halting handlers (§4.1), so the
+/// reference semantics surface these as exception outcomes.
+pub(super) fn int_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    match inst.class.opcode {
+        0xcc => Err(Exception::Bp),
+        0xcd => {
+            let v = inst.imm.expect("vector");
+            let vec = x.d.concretize(v, "int vector") as u8;
+            Err(Exception::SoftInt(vec))
+        }
+        0xce => {
+            let of = flags::get_bit(x.d, x.m.eflags, OF);
+            if x.d.branch(of, "into overflow set") {
+                Err(Exception::Of)
+            } else {
+                Ok(Flow::Next)
+            }
+        }
+        _ => Err(Exception::Db), // int1/icebp
+    }
+}
+
+/// `enter imm16, imm8`.
+pub(super) fn enter<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let alloc = inst.imm.expect("imm16");
+    let level_v = inst.imm2.expect("imm8");
+    let level = (x.d.concretize(level_v, "enter nesting level") & 0x1f) as u32;
+    let ebp = x.read_reg(Gpr::Ebp as u8, size);
+    x.push(ebp, size)?;
+    let frame_temp = x.read_reg(Gpr::Esp as u8, 4);
+    if level > 0 {
+        // Copy level-1 frame pointers, then push the new frame pointer.
+        for i in 1..level {
+            let ebp_cur = x.read_reg(Gpr::Ebp as u8, 4);
+            let off = x.d.constant(32, (i * size as u32) as u64);
+            let addr = x.d.sub(ebp_cur, off);
+            let v = crate::translate::mem_read(x.d, x.m, Seg::Ss, addr, size)?;
+            x.push(v, size)?;
+        }
+        let ft = if size == 2 { x.d.extract(frame_temp, 15, 0) } else { frame_temp };
+        x.push(ft, size)?;
+    }
+    let ft_sz = if size == 2 { x.d.extract(frame_temp, 15, 0) } else { frame_temp };
+    x.write_reg(Gpr::Ebp as u8, size, ft_sz);
+    let alloc32 = x.d.zext(alloc, 32);
+    let esp = x.read_reg(Gpr::Esp as u8, 4);
+    let nesp = x.d.sub(esp, alloc32);
+    x.write_reg(Gpr::Esp as u8, 4, nesp);
+    Ok(Flow::Next)
+}
+
+/// `leave`: the stack read is checked *before* ESP/EBP are modified — the
+/// atomicity property QEMU violates by updating ESP first (§6.2).
+pub(super) fn leave<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let ebp = x.read_reg(Gpr::Ebp as u8, 4);
+    let v = crate::translate::mem_read(x.d, x.m, Seg::Ss, ebp, size)?;
+    // Only after the read is known good: ESP = EBP + size; EBP = popped.
+    let inc = x.d.constant(32, size as u64);
+    let nesp = x.d.add(ebp, inc);
+    x.write_reg(Gpr::Esp as u8, 4, nesp);
+    x.write_reg(Gpr::Ebp as u8, size, v);
+    Ok(Flow::Next)
+}
+
+/// `bound r, m`.
+pub(super) fn bound<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let w = size * 8;
+    let mr = inst.modrm.as_ref().expect("modrm");
+    let mem = *mr.mem.as_ref().expect("bound is memory-only");
+    let idx = x.read_reg(mr.reg, size);
+    let off = x.effective_address(&mem);
+    let lower = crate::translate::mem_read(x.d, x.m, mem.seg, off, size)?;
+    let sz = x.d.constant(32, size as u64);
+    let off2 = x.d.add(off, sz);
+    let upper = crate::translate::mem_read(x.d, x.m, mem.seg, off2, size)?;
+    let below = x.d.slt(idx, lower);
+    let above = x.d.slt(upper, idx);
+    let out = x.d.or(below, above);
+    let _ = w;
+    if x.d.branch(out, "bound range exceeded") {
+        return Err(Exception::Br);
+    }
+    Ok(Flow::Next)
+}
+
+/// `arpl r/m16, r16`.
+pub(super) fn arpl<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let mr = inst.modrm.as_ref().expect("modrm");
+    let dst = x.read_rm(inst, 2)?;
+    let src = x.read_reg(mr.reg, 2);
+    let dst_rpl = x.d.extract(dst, 1, 0);
+    let src_rpl = x.d.extract(src, 1, 0);
+    let lower = x.d.ult(dst_rpl, src_rpl);
+    let hi = x.d.extract(dst, 15, 2);
+    let adjusted = x.d.concat(hi, src_rpl);
+    let new = x.d.ite(lower, adjusted, dst);
+    // ZF = adjustment happened. Write-back occurs regardless (RMW).
+    x.write_rm(inst, 2, new)?;
+    x.m.eflags = flags::insert_bit(x.d, x.m.eflags, ZF, lower);
+    // Keep sub_flags linked for the doc-comment cross-reference.
+    let _ = sub_flags::<D>;
+    Ok(Flow::Next)
+}

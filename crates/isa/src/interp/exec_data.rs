@@ -1,0 +1,499 @@
+//! Data movement, stack, flag-register, and string instructions.
+
+use pokemu_symx::Dom;
+
+use crate::flags::{self, sub_flags};
+use crate::inst::{Inst, Rep};
+use crate::state::flags::{AF, CF, DF, IF, IOPL, OF, PF, SF, ZF, FIXED_ONE, WRITABLE};
+use crate::state::{Exception, Gpr, Seg};
+use crate::translate::{self, desc_kind};
+
+use super::{Exec, ExecResult, Flow};
+
+const F_ALL: u32 = (1 << CF) | (1 << PF) | (1 << AF) | (1 << ZF) | (1 << SF) | (1 << OF);
+
+/// `mov` in its register/memory/immediate/moffs encodings.
+pub(super) fn mov_family<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let op = inst.class.opcode;
+    match op {
+        0x88 | 0x89 => {
+            let size = if op == 0x88 { 1 } else { inst.opsize() };
+            let mr = inst.modrm.as_ref().expect("modrm");
+            let v = x.read_reg(mr.reg, size);
+            x.write_rm(inst, size, v)?;
+        }
+        0x8a | 0x8b => {
+            let size = if op == 0x8a { 1 } else { inst.opsize() };
+            let mr = inst.modrm.as_ref().expect("modrm");
+            let v = x.read_rm(inst, size)?;
+            x.write_reg(mr.reg, size, v);
+        }
+        0xa0 | 0xa1 => {
+            // mov AL/eAX, [moffs]
+            let size = if op == 0xa0 { 1 } else { inst.opsize() };
+            let seg = inst.seg_override.unwrap_or(Seg::Ds);
+            let off = inst.imm.expect("moffs");
+            let v = translate::mem_read(x.d, x.m, seg, off, size)?;
+            x.write_reg(Gpr::Eax as u8, size, v);
+        }
+        0xa2 | 0xa3 => {
+            let size = if op == 0xa2 { 1 } else { inst.opsize() };
+            let seg = inst.seg_override.unwrap_or(Seg::Ds);
+            let off = inst.imm.expect("moffs");
+            let v = x.read_reg(Gpr::Eax as u8, size);
+            translate::mem_write(x.d, x.m, seg, off, v, size)?;
+        }
+        0xb0..=0xb7 => {
+            let reg = (op & 7) as u8;
+            x.write_reg(reg, 1, inst.imm.expect("imm8"));
+        }
+        0xb8..=0xbf => {
+            let reg = (op & 7) as u8;
+            x.write_reg(reg, inst.opsize(), inst.imm.expect("imm"));
+        }
+        0xc6 | 0xc7 => {
+            let size = if op == 0xc6 { 1 } else { inst.opsize() };
+            x.write_rm(inst, size, inst.imm.expect("imm"))?;
+        }
+        _ => return Err(Exception::Ud),
+    }
+    Ok(Flow::Next)
+}
+
+/// `mov r/m16, sreg` (8C) and `mov sreg, r/m16` (8E).
+pub(super) fn mov_sreg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let mr = inst.modrm.as_ref().expect("modrm");
+    let seg = Seg::from_bits(mr.reg).ok_or(Exception::Ud)?;
+    if inst.class.opcode == 0x8c {
+        let sel = x.m.segs[seg as usize].selector;
+        // To a register: zero-extended to the operand size; to memory: 16-bit.
+        if mr.mem.is_none() {
+            let size = inst.opsize();
+            let v = x.d.zext(sel, size * 8);
+            x.write_reg(mr.rm, size, v);
+        } else {
+            x.write_rm(inst, 2, sel)?;
+        }
+    } else {
+        if seg == Seg::Cs {
+            return Err(Exception::Ud);
+        }
+        let sel = x.read_rm(inst, 2)?;
+        let kind = if seg == Seg::Ss { desc_kind::STACK } else { desc_kind::DATA };
+        x.load_segment(seg, sel, kind)?;
+    }
+    Ok(Flow::Next)
+}
+
+/// `lea`.
+pub(super) fn lea<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let mr = inst.modrm.as_ref().expect("modrm");
+    let mem = mr.mem.as_ref().expect("lea is memory-only");
+    let mem = *mem;
+    let ea = x.effective_address(&mem);
+    let size = inst.opsize();
+    let v = if size == 2 { x.d.extract(ea, 15, 0) } else { ea };
+    x.write_reg(mr.reg, size, v);
+    Ok(Flow::Next)
+}
+
+/// `xchg` (86/87 and the 90-97 accumulator forms).
+pub(super) fn xchg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let op = inst.class.opcode;
+    if (0x90..=0x97).contains(&op) {
+        let reg = (op & 7) as u8;
+        let size = inst.opsize();
+        let a = x.read_reg(Gpr::Eax as u8, size);
+        let b = x.read_reg(reg, size);
+        x.write_reg(Gpr::Eax as u8, size, b);
+        x.write_reg(reg, size, a);
+        return Ok(Flow::Next);
+    }
+    let size = if op == 0x86 { 1 } else { inst.opsize() };
+    let mr = inst.modrm.as_ref().expect("modrm");
+    let mem_val = x.read_rm(inst, size)?;
+    let reg_val = x.read_reg(mr.reg, size);
+    // The r/m write is checked before the register commit (atomicity).
+    x.write_rm(inst, size, reg_val)?;
+    x.write_reg(mr.reg, size, mem_val);
+    Ok(Flow::Next)
+}
+
+/// `push r`/`pop r`/`push imm` (50-5F, 68, 6A).
+pub(super) fn push_pop_reg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let op = inst.class.opcode;
+    let size = inst.opsize();
+    match op {
+        0x50..=0x57 => {
+            let v = x.read_reg((op & 7) as u8, size);
+            x.push(v, size)?;
+        }
+        0x58..=0x5f => {
+            let v = x.pop(size)?;
+            x.write_reg((op & 7) as u8, size, v);
+        }
+        0x68 => x.push(inst.imm.expect("imm"), size)?,
+        _ => {
+            // push imm8, sign-extended to the operand size
+            let i = inst.imm.expect("imm8");
+            let v = x.d.sext(i, size * 8);
+            x.push(v, size)?;
+        }
+    }
+    Ok(Flow::Next)
+}
+
+/// `pop r/m` (8F /0).
+pub(super) fn pop_rm<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    // x86 quirk: ESP is incremented before the store's effective address is
+    // computed, but rolled back if the store faults.
+    let v = x.pop(size)?;
+    if let Err(e) = x.write_rm(inst, size, v) {
+        x.bump_esp(-(size as i32));
+        return Err(e);
+    }
+    Ok(Flow::Next)
+}
+
+/// `push`/`pop` of segment registers.
+pub(super) fn push_pop_sreg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let (seg, is_push) = match inst.class.opcode {
+        0x06 => (Seg::Es, true),
+        0x07 => (Seg::Es, false),
+        0x0e => (Seg::Cs, true),
+        0x16 => (Seg::Ss, true),
+        0x17 => (Seg::Ss, false),
+        0x1e => (Seg::Ds, true),
+        0x1f => (Seg::Ds, false),
+        0x0fa0 => (Seg::Fs, true),
+        0x0fa1 => (Seg::Fs, false),
+        0x0fa8 => (Seg::Gs, true),
+        _ => (Seg::Gs, false),
+    };
+    if is_push {
+        let sel = x.m.segs[seg as usize].selector;
+        let v = x.d.zext(sel, size * 8);
+        x.push(v, size)?;
+    } else {
+        let v = x.pop(size)?;
+        let kind = if seg == Seg::Ss { desc_kind::STACK } else { desc_kind::DATA };
+        if let Err(e) = x.load_segment(seg, v, kind) {
+            x.bump_esp(-(size as i32));
+            return Err(e);
+        }
+    }
+    Ok(Flow::Next)
+}
+
+/// `pusha` / `popa`: eight sequential stack accesses.
+pub(super) fn pusha_popa<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    if inst.class.opcode == 0x60 {
+        let orig_esp = x.read_reg(Gpr::Esp as u8, size);
+        for r in [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx] {
+            let v = x.read_reg(r as u8, size);
+            x.push(v, size)?;
+        }
+        x.push(orig_esp, size)?;
+        for r in [Gpr::Ebp, Gpr::Esi, Gpr::Edi] {
+            let v = x.read_reg(r as u8, size);
+            x.push(v, size)?;
+        }
+    } else {
+        for r in [Gpr::Edi, Gpr::Esi, Gpr::Ebp] {
+            let v = x.pop(size)?;
+            x.write_reg(r as u8, size, v);
+        }
+        x.bump_esp(size as i32); // skip the saved ESP
+        for r in [Gpr::Ebx, Gpr::Edx, Gpr::Ecx, Gpr::Eax] {
+            let v = x.pop(size)?;
+            x.write_reg(r as u8, size, v);
+        }
+    }
+    Ok(Flow::Next)
+}
+
+/// Applies the protected-mode EFLAGS write rules: IF writable only when
+/// CPL <= IOPL; IOPL writable only at CPL 0; VM/RF never via popf.
+pub(super) fn write_eflags<D: Dom>(x: &mut Exec<'_, D>, new: D::V, size: u8) {
+    let old = x.m.eflags;
+    let new32 = if size == 2 {
+        // 16-bit writes leave the upper half untouched.
+        let hi = x.d.extract(old, 31, 16);
+        let lo = x.d.extract(new, 15, 0);
+        x.d.concat(hi, lo)
+    } else {
+        new
+    };
+    let cpl = x.m.cpl(x.d);
+    let iopl = x.d.extract(old, IOPL + 1, IOPL);
+    let cpl0 = {
+        let z = x.d.constant(2, 0);
+        x.d.eq(cpl, z)
+    };
+    let if_ok = x.d.ule(cpl, iopl);
+
+    let mut mask = WRITABLE & !(1 << IF) & !(3 << IOPL);
+    if size == 2 {
+        mask |= 0xffff_0000; // carried over from old anyway
+    }
+    let keep = x.d.constant(32, (!mask & !(1 << IF) & !(3 << IOPL)) as u64 | FIXED_ONE as u64);
+    let _ = keep;
+    // Base: writable bits from new, everything else from old.
+    let m_new = x.d.constant(32, mask as u64);
+    let m_old = x.d.constant(32, !mask as u64 & 0xffff_ffff);
+    let a = x.d.and(new32, m_new);
+    let b = x.d.and(old, m_old);
+    let mut out = x.d.or(a, b);
+    // IF: from new when CPL <= IOPL, else preserved.
+    let if_new = flags::get_bit(x.d, new32, IF);
+    let if_old = flags::get_bit(x.d, old, IF);
+    let if_v = x.d.ite(if_ok, if_new, if_old);
+    out = flags::insert_bit(x.d, out, IF, if_v);
+    // IOPL: from new only at CPL 0.
+    let iopl_new = x.d.extract(new32, IOPL + 1, IOPL);
+    let iopl_v = x.d.ite(cpl0, iopl_new, iopl);
+    let lo = x.d.extract(out, IOPL - 1, 0);
+    let hi = x.d.extract(out, 31, IOPL + 2);
+    let hi_io = x.d.concat(hi, iopl_v);
+    out = x.d.concat(hi_io, lo);
+    // Fixed bits.
+    let fixed = x.d.constant(32, FIXED_ONE as u64);
+    out = x.d.or(out, fixed);
+    x.m.eflags = out;
+}
+
+/// `pushf` / `popf`.
+pub(super) fn pushf_popf<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    if inst.class.opcode == 0x9c {
+        let v = if size == 2 {
+            x.d.extract(x.m.eflags, 15, 0)
+        } else {
+            // VM and RF read as 0 on pushf.
+            let m = x.d.constant(32, !((1u64 << 16) | (1u64 << 17)) & 0xffff_ffff);
+            x.d.and(x.m.eflags, m)
+        };
+        x.push(v, size)?;
+    } else {
+        let v = x.pop(size)?;
+        write_eflags(x, v, size);
+    }
+    Ok(Flow::Next)
+}
+
+/// `lahf` / `sahf`.
+pub(super) fn lahf_sahf<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    if inst.class.opcode == 0x9f {
+        let low = x.d.extract(x.m.eflags, 7, 0);
+        let fixed = x.d.constant(8, FIXED_ONE as u64);
+        let v = x.d.or(low, fixed);
+        let ax = x.read_reg(Gpr::Eax as u8, 2);
+        let al = x.d.extract(ax, 7, 0);
+        let new_ax = x.d.concat(v, al);
+        x.write_reg(Gpr::Eax as u8, 2, new_ax);
+    } else {
+        let ax = x.read_reg(Gpr::Eax as u8, 2);
+        let ah = x.d.extract(ax, 15, 8);
+        // SAHF writes SF ZF AF PF CF.
+        const MASK: u32 = (1 << SF) | (1 << ZF) | (1 << AF) | (1 << PF) | (1 << CF);
+        let m_new = x.d.constant(8, MASK as u64);
+        let a = x.d.and(ah, m_new);
+        let a32 = x.d.zext(a, 32);
+        let m_old = x.d.constant(32, !(MASK as u64) & 0xffff_ffff);
+        let b = x.d.and(x.m.eflags, m_old);
+        let out = x.d.or(a32, b);
+        let fixed = x.d.constant(32, FIXED_ONE as u64);
+        x.m.eflags = x.d.or(out, fixed);
+    }
+    Ok(Flow::Next)
+}
+
+/// Single-flag instructions: `cmc`/`clc`/`stc`/`cli`/`sti`/`cld`/`std`.
+pub(super) fn flag_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    match inst.class.opcode {
+        0xf5 => {
+            let c = flags::get_bit(x.d, x.m.eflags, CF);
+            let nc = x.d.not(c);
+            x.m.eflags = flags::insert_bit(x.d, x.m.eflags, CF, nc);
+        }
+        0xf8 => {
+            let z = x.d.ff();
+            x.m.eflags = flags::insert_bit(x.d, x.m.eflags, CF, z);
+        }
+        0xf9 => {
+            let o = x.d.tt();
+            x.m.eflags = flags::insert_bit(x.d, x.m.eflags, CF, o);
+        }
+        0xfa | 0xfb => {
+            // cli/sti: require CPL <= IOPL.
+            let cpl = x.m.cpl(x.d);
+            let iopl = x.d.extract(x.m.eflags, IOPL + 1, IOPL);
+            let ok = x.d.ule(cpl, iopl);
+            if !x.d.branch(ok, "cli/sti IOPL check") {
+                return Err(Exception::Gp(0));
+            }
+            let v = if inst.class.opcode == 0xfb { x.d.tt() } else { x.d.ff() };
+            x.m.eflags = flags::insert_bit(x.d, x.m.eflags, IF, v);
+        }
+        0xfc => {
+            let z = x.d.ff();
+            x.m.eflags = flags::insert_bit(x.d, x.m.eflags, DF, z);
+        }
+        _ => {
+            let o = x.d.tt();
+            x.m.eflags = flags::insert_bit(x.d, x.m.eflags, DF, o);
+        }
+    }
+    Ok(Flow::Next)
+}
+
+/// `xlat`.
+pub(super) fn xlat<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let seg = inst.seg_override.unwrap_or(Seg::Ds);
+    let ebx = x.read_reg(Gpr::Ebx as u8, 4);
+    let al = x.read_reg(Gpr::Eax as u8, 1);
+    let al32 = x.d.zext(al, 32);
+    let off = x.d.add(ebx, al32);
+    let v = translate::mem_read(x.d, x.m, seg, off, 1)?;
+    x.write_reg(Gpr::Eax as u8, 1, v);
+    Ok(Flow::Next)
+}
+
+/// String instructions (`movs`/`cmps`/`stos`/`lods`/`scas`) with REP
+/// prefixes. Each iteration commits its side effects (x86 string operations
+/// are interruptible), so a fault mid-string leaves a partial result — the
+/// architecturally correct behavior.
+pub(super) fn string_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let op = inst.class.opcode;
+    let size: u8 = match op {
+        0xa4 | 0xa6 | 0xaa | 0xac | 0xae => 1,
+        _ => inst.opsize(),
+    };
+    let src_seg = inst.seg_override.unwrap_or(Seg::Ds);
+    // A hard iteration bound keeps symbolic ECX loops finite; real REP loops
+    // in generated tests use small counts.
+    const MAX_ITER: u32 = 4096;
+    let mut iter = 0u32;
+    loop {
+        if let Some(_rep) = inst.rep {
+            let ecx = x.read_reg(Gpr::Ecx as u8, 4);
+            let z = x.d.constant(32, 0);
+            let done = x.d.eq(ecx, z);
+            if x.d.branch(done, "rep ecx zero") {
+                break;
+            }
+        }
+        string_one(x, op, size, src_seg)?;
+        if inst.rep.is_none() {
+            break;
+        }
+        // Decrement ECX.
+        let ecx = x.read_reg(Gpr::Ecx as u8, 4);
+        let one = x.d.constant(32, 1);
+        let dec = x.d.sub(ecx, one);
+        x.write_reg(Gpr::Ecx as u8, 4, dec);
+        // scas/cmps: the repeat condition also checks ZF.
+        if matches!(op, 0xa6 | 0xa7 | 0xae | 0xaf) {
+            let zf = flags::get_bit(x.d, x.m.eflags, ZF);
+            let stop = match inst.rep {
+                Some(Rep::RepE) => !x.d.branch(zf, "repe ZF"),
+                Some(Rep::RepNe) => x.d.branch(zf, "repne ZF"),
+                None => unreachable!(),
+            };
+            if stop {
+                break;
+            }
+        }
+        iter += 1;
+        if iter >= MAX_ITER {
+            break;
+        }
+    }
+    Ok(Flow::Next)
+}
+
+fn advance<D: Dom>(x: &mut Exec<'_, D>, reg: Gpr, size: u8) {
+    let df = flags::get_bit(x.d, x.m.eflags, DF);
+    let v = x.read_reg(reg as u8, 4);
+    let n = x.d.constant(32, size as u64);
+    let up = x.d.add(v, n);
+    let down = x.d.sub(v, n);
+    let nv = x.d.ite(df, down, up);
+    x.write_reg(reg as u8, 4, nv);
+}
+
+fn string_one<D: Dom>(
+    x: &mut Exec<'_, D>,
+    op: u16,
+    size: u8,
+    src_seg: Seg,
+) -> Result<(), Exception> {
+    let esi = x.read_reg(Gpr::Esi as u8, 4);
+    let edi = x.read_reg(Gpr::Edi as u8, 4);
+    match op {
+        0xa4 | 0xa5 => {
+            // movs: read [src_seg:esi], write [es:edi]
+            let v = translate::mem_read(x.d, x.m, src_seg, esi, size)?;
+            translate::mem_write(x.d, x.m, Seg::Es, edi, v, size)?;
+            advance(x, Gpr::Esi, size);
+            advance(x, Gpr::Edi, size);
+        }
+        0xa6 | 0xa7 => {
+            // cmps
+            let a = translate::mem_read(x.d, x.m, src_seg, esi, size)?;
+            let b = translate::mem_read(x.d, x.m, Seg::Es, edi, size)?;
+            let r = x.d.sub(a, b);
+            let f = sub_flags(x.d, a, b, None, r);
+            x.m.eflags =
+                flags::apply_flags(x.d, x.m.eflags, &f, F_ALL, 0, x.q.undef_policy);
+            advance(x, Gpr::Esi, size);
+            advance(x, Gpr::Edi, size);
+        }
+        0xaa | 0xab => {
+            // stos
+            let v = x.read_reg(Gpr::Eax as u8, size);
+            translate::mem_write(x.d, x.m, Seg::Es, edi, v, size)?;
+            advance(x, Gpr::Edi, size);
+        }
+        0xac | 0xad => {
+            // lods
+            let v = translate::mem_read(x.d, x.m, src_seg, esi, size)?;
+            x.write_reg(Gpr::Eax as u8, size, v);
+            advance(x, Gpr::Esi, size);
+        }
+        _ => {
+            // scas
+            let a = x.read_reg(Gpr::Eax as u8, size);
+            let b = translate::mem_read(x.d, x.m, Seg::Es, edi, size)?;
+            let r = x.d.sub(a, b);
+            let f = sub_flags(x.d, a, b, None, r);
+            x.m.eflags =
+                flags::apply_flags(x.d, x.m.eflags, &f, F_ALL, 0, x.q.undef_policy);
+            advance(x, Gpr::Edi, size);
+        }
+    }
+    Ok(())
+}
+
+/// `lds`/`les`/`lss`/`lfs`/`lgs`: far-pointer loads whose operand fetch
+/// order is a quirk (§6.2, the `lfs` finding).
+pub(super) fn load_far_pointer<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
+    let size = inst.opsize();
+    let (seg, kind) = match inst.class.opcode {
+        0xc4 => (Seg::Es, desc_kind::DATA),
+        0xc5 => (Seg::Ds, desc_kind::DATA),
+        0x0fb2 => (Seg::Ss, desc_kind::STACK),
+        0x0fb4 => (Seg::Fs, desc_kind::DATA),
+        _ => (Seg::Gs, desc_kind::DATA),
+    };
+    let mr = inst.modrm.as_ref().expect("modrm");
+    let mem = *mr.mem.as_ref().expect("far pointer is memory-only");
+    let off = x.effective_address(&mem);
+    let (offset, sel) = x.read_far_pointer(mem.seg, off, size)?;
+    x.load_segment(seg, sel, kind)?;
+    x.write_reg(mr.reg, size, offset);
+    Ok(Flow::Next)
+}

@@ -1,0 +1,175 @@
+//! Machine-state snapshots: the comparison format of the test harness.
+//!
+//! After a test program halts or raises an exception, every execution target
+//! (Hi-Fi emulator, Lo-Fi emulator, hardware oracle) dumps its CPU state and
+//! physical memory into this common format — the paper implements "our own
+//! file format to simplify comparison" for the same reason (§5.1).
+//! Uninitialized/zero memory is omitted: all targets zero-fill, so only
+//! non-zero bytes are significant.
+
+use std::collections::BTreeMap;
+
+use pokemu_symx::{Concrete, Dom};
+
+use crate::state::{Machine, Seg};
+
+/// How a test-program execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The CPU executed `hlt`.
+    Halted,
+    /// An exception or software interrupt was raised.
+    Exception {
+        /// Vector number.
+        vector: u8,
+        /// Error code, if the vector pushes one.
+        error: Option<u16>,
+    },
+    /// The step budget expired without halt or exception.
+    Timeout,
+}
+
+/// Snapshot of one segment register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegSnapshot {
+    /// Visible selector.
+    pub selector: u16,
+    /// Cached base.
+    pub base: u32,
+    /// Cached byte-granular limit.
+    pub limit: u32,
+    /// Cached attribute word.
+    pub attrs: u16,
+}
+
+/// A complete final machine state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// General-purpose registers.
+    pub gpr: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// EFLAGS.
+    pub eflags: u32,
+    /// Segment registers in [`Seg`] order.
+    pub segs: [SegSnapshot; 6],
+    /// CR0.
+    pub cr0: u32,
+    /// CR2.
+    pub cr2: u32,
+    /// CR3 (base | flags).
+    pub cr3: u32,
+    /// CR4.
+    pub cr4: u32,
+    /// GDTR (base, limit).
+    pub gdtr: (u32, u16),
+    /// IDTR (base, limit).
+    pub idtr: (u32, u16),
+    /// Non-zero physical memory bytes.
+    pub mem: BTreeMap<u32, u8>,
+    /// How execution ended.
+    pub outcome: Outcome,
+}
+
+impl Snapshot {
+    /// Captures a snapshot from a concrete [`Machine`].
+    pub fn capture(d: &mut Concrete, m: &Machine<pokemu_symx::CVal>, outcome: Outcome) -> Snapshot {
+        let g = |d: &Concrete, v| d.as_const(v).expect("concrete machine") as u32;
+        let mut segs = [SegSnapshot { selector: 0, base: 0, limit: 0, attrs: 0 }; 6];
+        for s in Seg::ALL {
+            let sr = &m.segs[s as usize];
+            segs[s as usize] = SegSnapshot {
+                selector: g(d, sr.selector) as u16,
+                base: g(d, sr.cache.base),
+                limit: g(d, sr.cache.limit),
+                attrs: g(d, sr.cache.attrs) as u16,
+            };
+        }
+        let mut mem = BTreeMap::new();
+        for (addr, v) in m.mem.iter_initialized() {
+            let b = d.as_const(v).expect("concrete memory") as u8;
+            if b != 0 {
+                mem.insert(addr, b);
+            }
+        }
+        Snapshot {
+            gpr: std::array::from_fn(|i| g(d, m.gpr[i])),
+            eip: m.eip,
+            eflags: g(d, m.eflags),
+            segs,
+            cr0: g(d, m.cr0),
+            cr2: m.cr2,
+            cr3: m.cr3_base | g(d, m.cr3_flags),
+            cr4: g(d, m.cr4),
+            gdtr: (m.gdtr.base, g(d, m.gdtr.limit) as u16),
+            idtr: (m.idtr.base, g(d, m.idtr.limit) as u16),
+            mem,
+            outcome,
+        }
+    }
+
+    /// Names of the state components in which `self` and `other` differ —
+    /// the difference signature used for clustering (paper §6.2).
+    pub fn diff(&self, other: &Snapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.outcome != other.outcome {
+            out.push(format!("outcome: {:?} vs {:?}", self.outcome, other.outcome));
+        }
+        for (i, r) in crate::state::Gpr::ALL.iter().enumerate() {
+            if self.gpr[i] != other.gpr[i] {
+                out.push(format!("{}: {:#x} vs {:#x}", r.name(), self.gpr[i], other.gpr[i]));
+            }
+        }
+        if self.eip != other.eip {
+            out.push(format!("eip: {:#x} vs {:#x}", self.eip, other.eip));
+        }
+        if self.eflags != other.eflags {
+            out.push(format!("eflags: {:#x} vs {:#x}", self.eflags, other.eflags));
+        }
+        for s in Seg::ALL {
+            let (a, b) = (self.segs[s as usize], other.segs[s as usize]);
+            if a != b {
+                out.push(format!("{}: {:?} vs {:?}", s.name(), a, b));
+            }
+        }
+        for (name, a, b) in [
+            ("cr0", self.cr0, other.cr0),
+            ("cr2", self.cr2, other.cr2),
+            ("cr3", self.cr3, other.cr3),
+            ("cr4", self.cr4, other.cr4),
+        ] {
+            if a != b {
+                out.push(format!("{name}: {a:#x} vs {b:#x}"));
+            }
+        }
+        if self.gdtr != other.gdtr {
+            out.push(format!("gdtr: {:?} vs {:?}", self.gdtr, other.gdtr));
+        }
+        if self.idtr != other.idtr {
+            out.push(format!("idtr: {:?} vs {:?}", self.idtr, other.idtr));
+        }
+        // Memory: union of keys, zero default.
+        let keys: std::collections::BTreeSet<u32> =
+            self.mem.keys().chain(other.mem.keys()).copied().collect();
+        let mut mem_diffs = 0;
+        for k in keys {
+            let a = self.mem.get(&k).copied().unwrap_or(0);
+            let b = other.mem.get(&k).copied().unwrap_or(0);
+            if a != b {
+                if mem_diffs < 8 {
+                    out.push(format!("mem[{k:#x}]: {a:#x} vs {b:#x}"));
+                }
+                mem_diffs += 1;
+            }
+        }
+        if mem_diffs >= 8 {
+            out.push(format!("... {mem_diffs} memory bytes differ in total"));
+        }
+        out
+    }
+
+    /// `true` when the snapshots are behaviorally identical.
+    pub fn same_behavior(&self, other: &Snapshot) -> bool {
+        self.diff(other).is_empty()
+    }
+}

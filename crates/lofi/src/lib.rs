@@ -1,0 +1,328 @@
+//! # pokemu-lofi
+//!
+//! The **Lo-Fi emulator** — the QEMU analogue of the PokeEMU-rs
+//! reproduction: a dynamic binary translator for the VX86 guest ISA.
+//!
+//! Architecture (mirroring QEMU 0.14's, the version the paper tests):
+//!
+//! * a translator lowers guest instructions to a micro-op IR
+//!   ([`uop`], [`translate`]);
+//! * translated blocks are cached and invalidated on self-modifying writes
+//!   ([`Lofi`]);
+//! * a softmmu with a TLB serves memory accesses through a *fast path that
+//!   skips segmentation checks* ([`mmu`]);
+//! * EFLAGS are lazy ([`state::CcState`]), materialized on demand;
+//! * complex instructions run as out-of-line helpers ([`exec`]).
+//!
+//! The fidelity gaps the paper's evaluation finds in QEMU (§6.2) are
+//! *consequences of this architecture*, reproduced here structurally:
+//! missing segment limit/rights enforcement (fast path), non-atomic `leave`
+//! and `cmpxchg` (eager micro-op commit), `rdmsr` without the invalid-MSR
+//! #GP, reversed `iret` pop order, missing descriptor accessed-bit updates,
+//! rejected undocumented encodings, and lazy-flag values for
+//! architecturally-undefined flags. Each gap has a fix switch in
+//! [`Fidelity`] so the ablation experiment can validate the generated tests
+//! against a repaired emulator ("the test programs we have generated can be
+//! used again in the future to validate the implementation", §6.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod mmu;
+pub mod state;
+pub mod translate;
+pub mod uop;
+
+use std::collections::HashMap;
+
+use pokemu_isa::snapshot::{Outcome, SegSnapshot, Snapshot};
+use pokemu_isa::state::Exception;
+
+pub use exec::{Core, TbExit};
+pub use state::{Fidelity, LofiMachine};
+pub use translate::Tb;
+
+/// Why a [`Lofi::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// `hlt` retired.
+    Halted,
+    /// An exception was intercepted.
+    Exception(Exception),
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+impl RunExit {
+    /// Converts to the snapshot outcome encoding.
+    pub fn outcome(self) -> Outcome {
+        match self {
+            RunExit::Halted => Outcome::Halted,
+            RunExit::Exception(e) => {
+                Outcome::Exception { vector: e.vector(), error: e.error_code() }
+            }
+            RunExit::StepLimit => Outcome::Timeout,
+        }
+    }
+}
+
+/// Execution statistics (translation-block behavior, for the performance
+/// benches).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LofiStats {
+    /// Blocks translated.
+    pub translations: u64,
+    /// Block executions served from the cache.
+    pub cache_hits: u64,
+    /// Blocks invalidated by guest writes.
+    pub invalidations: u64,
+    /// Guest instructions executed (approximate: per-block counts).
+    pub insns: u64,
+}
+
+/// The Lo-Fi dynamic binary translator.
+///
+/// # Examples
+///
+/// ```
+/// use pokemu_lofi::{Fidelity, Lofi};
+///
+/// let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+/// // Zero-filled RAM decodes as `add [eax], al`; with no segment checks on
+/// // the fast path, the Lo-Fi emulator happily churns through it until the
+/// // block budget runs out — the Hi-Fi emulator would fault the fetch.
+/// let exit = emu.run(16);
+/// assert_eq!(exit, pokemu_lofi::RunExit::StepLimit);
+/// ```
+#[derive(Debug)]
+pub struct Lofi {
+    core: Core,
+    tbs: HashMap<u32, Tb>,
+    tbs_by_page: HashMap<u32, Vec<u32>>,
+    stats: LofiStats,
+    /// Maximum guest instructions per translation block.
+    pub max_tb_insns: u32,
+}
+
+impl Default for Lofi {
+    fn default() -> Self {
+        Self::new(Fidelity::QEMU_LIKE)
+    }
+}
+
+impl Lofi {
+    /// Creates an emulator with the given fidelity profile.
+    pub fn new(fid: Fidelity) -> Self {
+        Lofi {
+            core: Core::new(fid),
+            tbs: HashMap::new(),
+            tbs_by_page: HashMap::new(),
+            stats: LofiStats::default(),
+            max_tb_insns: 8,
+        }
+    }
+
+    /// The guest machine state.
+    pub fn machine(&self) -> &LofiMachine {
+        &self.core.m
+    }
+
+    /// Mutable guest machine state (baseline initialization).
+    pub fn machine_mut(&mut self) -> &mut LofiMachine {
+        &mut self.core.m
+    }
+
+    /// Loads raw bytes into guest RAM.
+    pub fn load_image(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = (addr as usize + i) % self.core.m.ram.len();
+            self.core.m.ram[a] = b;
+        }
+    }
+
+    /// Sets the instruction pointer.
+    pub fn set_eip(&mut self, eip: u32) {
+        self.core.m.eip = eip;
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> LofiStats {
+        self.stats
+    }
+
+    fn invalidate_dirty(&mut self) {
+        if self.core.dirty_pages.is_empty() {
+            return;
+        }
+        let pages = std::mem::take(&mut self.core.dirty_pages);
+        for p in pages {
+            if let Some(eips) = self.tbs_by_page.remove(&p) {
+                for e in eips {
+                    if self.tbs.remove(&e).is_some() {
+                        self.stats.invalidations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until halt, exception, or the block budget expires.
+    pub fn run(&mut self, max_blocks: u64) -> RunExit {
+        for _ in 0..max_blocks {
+            let eip = self.core.m.eip;
+            if !self.tbs.contains_key(&eip) {
+                let tb = match translate::translate_block(
+                    &mut self.core.m,
+                    &mut self.core.tlb,
+                    &self.core.fid,
+                    eip,
+                    self.max_tb_insns,
+                ) {
+                    Ok(tb) => tb,
+                    Err(e) => return RunExit::Exception(e),
+                };
+                self.stats.translations += 1;
+                for page in (tb.start >> 12)..=(tb.end.wrapping_sub(1) >> 12) {
+                    self.tbs_by_page.entry(page).or_default().push(eip);
+                }
+                self.tbs.insert(eip, tb);
+            } else {
+                self.stats.cache_hits += 1;
+            }
+            let tb = self.tbs.get(&eip).expect("just inserted").clone();
+            self.stats.insns += tb.insns as u64;
+            let exit = exec::exec_tb(&mut self.core, &tb);
+            self.invalidate_dirty();
+            match exit {
+                TbExit::Next(next) => self.core.m.eip = next,
+                TbExit::Halt => return RunExit::Halted,
+                TbExit::Fault(e) => return RunExit::Exception(e),
+            }
+        }
+        RunExit::StepLimit
+    }
+
+    /// Snapshots the guest into the common comparison format (§5.1).
+    pub fn snapshot(&self, exit: RunExit) -> Snapshot {
+        let m = &self.core.m;
+        let mut segs = [SegSnapshot { selector: 0, base: 0, limit: 0, attrs: 0 }; 6];
+        for (i, s) in m.segs.iter().enumerate() {
+            segs[i] =
+                SegSnapshot { selector: s.selector, base: s.base, limit: s.limit, attrs: s.attrs };
+        }
+        let mut mem = std::collections::BTreeMap::new();
+        for (addr, &b) in m.ram.iter().enumerate() {
+            if b != 0 {
+                mem.insert(addr as u32, b);
+            }
+        }
+        Snapshot {
+            gpr: m.gpr,
+            eip: m.eip,
+            eflags: m.eflags(),
+            segs,
+            cr0: m.cr0,
+            cr2: m.cr2,
+            cr3: m.cr3,
+            cr4: m.cr4,
+            gdtr: m.gdtr,
+            idtr: m.idtr,
+            mem,
+            outcome: exit.outcome(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pokemu_isa::state::{attrs, cr0};
+
+    fn flat(emu: &mut Lofi) {
+        let m = emu.machine_mut();
+        m.cr0 = 1 << cr0::PE;
+        for i in 0..6 {
+            let typ: u16 = if i == 1 { 0xb } else { 0x3 };
+            m.segs[i] = state::LofiSeg {
+                selector: ((i as u16) + 1) << 3,
+                base: 0,
+                limit: 0xffff_ffff,
+                attrs: typ | (1 << attrs::S as u16) | (1 << attrs::P as u16) | (1 << attrs::DB as u16),
+            };
+        }
+        m.gpr[4] = 0x7000;
+        m.eip = 0x1000;
+    }
+
+    #[test]
+    fn basic_arithmetic_runs() {
+        let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+        flat(&mut emu);
+        // mov eax, 41; add eax, 1; hlt
+        emu.load_image(0x1000, &[0xb8, 41, 0, 0, 0, 0x83, 0xc0, 0x01, 0xf4]);
+        let exit = emu.run(16);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(emu.machine().gpr[0], 42);
+    }
+
+    #[test]
+    fn tb_cache_hits_on_reexecution() {
+        let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+        flat(&mut emu);
+        // A small loop: mov ecx, 5; L: dec ecx; jnz L; hlt
+        emu.load_image(0x1000, &[0xb9, 5, 0, 0, 0, 0x49, 0x75, 0xfd, 0xf4]);
+        let exit = emu.run(64);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(emu.machine().gpr[1], 0);
+        assert!(emu.stats().cache_hits >= 3, "loop body must be cached");
+    }
+
+    #[test]
+    fn self_modifying_code_invalidates() {
+        let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+        flat(&mut emu);
+        // mov byte [0x1100], 0x42 ; jmp 0x1100 — the target page was
+        // translated already by the first block, then written.
+        // At 0x1100: initially hlt (0xf4); overwritten with inc edx (0x42).
+        emu.load_image(0x1000, &[0xc6, 0x05, 0x00, 0x11, 0x00, 0x00, 0x42, 0xe9, 0xf4, 0x00, 0x00, 0x00]);
+        emu.load_image(0x1100, &[0xf4, 0xf4]);
+        let exit = emu.run(16);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(emu.machine().gpr[2], 1, "must execute the rewritten inc edx");
+    }
+
+    #[test]
+    fn segment_limit_not_enforced_by_default() {
+        let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+        flat(&mut emu);
+        emu.machine_mut().segs[3].limit = 0x10; // tiny DS
+        // mov [0x2000], al ; hlt — far beyond the DS limit.
+        emu.load_image(0x1000, &[0xa2, 0x00, 0x20, 0x00, 0x00, 0xf4]);
+        let exit = emu.run(16);
+        assert_eq!(exit, RunExit::Halted, "Lo-Fi fast path skips the limit check");
+
+        let mut emu = Lofi::new(Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE });
+        flat(&mut emu);
+        emu.machine_mut().segs[3].limit = 0x10;
+        emu.load_image(0x1000, &[0xa2, 0x00, 0x20, 0x00, 0x00, 0xf4]);
+        let exit = emu.run(16);
+        assert_eq!(exit, RunExit::Exception(Exception::Gp(0)), "fixed build enforces it");
+    }
+
+    #[test]
+    fn undocumented_encodings_rejected() {
+        let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+        flat(&mut emu);
+        emu.load_image(0x1000, &[0xd6, 0xf4]); // salc
+        assert_eq!(emu.run(4), RunExit::Exception(Exception::Ud));
+
+        let mut emu = Lofi::new(Fidelity { accept_undocumented: true, ..Fidelity::QEMU_LIKE });
+        flat(&mut emu);
+        // stc; salc; hlt — with acceptance on, salc runs: AL = CF ? 0xff : 0.
+        emu.load_image(0x1000, &[0xf9, 0xd6, 0xf4]);
+        let exit = emu.run(4);
+        assert_eq!(exit, RunExit::Halted, "accepted salc must execute");
+        assert_eq!(emu.machine().gpr[0] & 0xff, 0xff, "salc sets AL from CF");
+    }
+}

@@ -1,0 +1,552 @@
+//! The Lo-Fi micro-op intermediate representation.
+//!
+//! The translator lowers each guest instruction to a short sequence of
+//! micro-ops; the executor runs them against the machine state. Because
+//! micro-ops commit eagerly — there is no instruction-level transaction —
+//! a fault in the middle of a sequence leaves earlier micro-ops' effects
+//! visible. That is the *mechanism* behind the atomicity violations the
+//! paper finds in QEMU (§6.2): the bug is an emergent property of the
+//! translation scheme, not a special case.
+
+use pokemu_isa::state::Seg;
+
+/// A temporary register index inside one translation block.
+pub type T = u8;
+
+/// Binary ALU operations on temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluKind {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+}
+
+/// Lazy condition-code updates attached to results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CcKind {
+    Logic,
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    Inc,
+    Dec,
+}
+
+/// Helper invocations: complex or system instructions implemented out of
+/// line (QEMU's `helper_*` functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Helper {
+    /// Load a segment register with descriptor checks. `kind` follows
+    /// [`pokemu_isa::translate::desc_kind`].
+    LoadSeg {
+        /// Target segment.
+        seg: Seg,
+        /// Temp holding the selector.
+        sel: T,
+        /// Load kind.
+        kind: u8,
+    },
+    /// Pop into a segment register (ESP rollback on fault).
+    PopSeg {
+        /// Target segment.
+        seg: Seg,
+        /// Operand size.
+        size: u8,
+    },
+    /// `pushf` / `popf`.
+    PushF {
+        /// Operand size.
+        size: u8,
+    },
+    /// `popf` with privilege rules.
+    PopF {
+        /// Operand size.
+        size: u8,
+    },
+    /// `sahf`.
+    Sahf,
+    /// Shift/rotate group: computes result and flags from `val`/`count`,
+    /// leaving the result in `out`.
+    Shift {
+        /// Sub-opcode (group reg field).
+        g: u8,
+        /// Operand size.
+        size: u8,
+        /// Temp: value.
+        val: T,
+        /// Temp: count.
+        count: T,
+        /// Temp: result written here.
+        out: T,
+    },
+    /// `shld`/`shrd`.
+    ShiftD {
+        /// Left (`shld`) or right.
+        left: bool,
+        /// Operand size.
+        size: u8,
+        /// Temp: destination value.
+        dst: T,
+        /// Temp: source value.
+        src: T,
+        /// Temp: count.
+        count: T,
+        /// Temp: result.
+        out: T,
+    },
+    /// `f6`/`f7` mul/imul/div/idiv on the accumulator.
+    MulDiv {
+        /// Group reg field (4..=7).
+        g: u8,
+        /// Operand size.
+        size: u8,
+        /// Temp: the r/m operand value.
+        val: T,
+    },
+    /// Two-operand `imul`.
+    Imul2 {
+        /// Operand size.
+        size: u8,
+        /// Temp: multiplicand.
+        a: T,
+        /// Temp: multiplier.
+        b: T,
+        /// Temp: result.
+        out: T,
+    },
+    /// `cmpxchg` on memory, with the eager-accumulator-update ordering bug.
+    CmpxchgMem {
+        /// Operand size.
+        size: u8,
+        /// Segment of the destination.
+        seg: Seg,
+        /// Temp: effective address.
+        addr: T,
+        /// Source register number.
+        src_reg: u8,
+    },
+    /// `cmpxchg` register form.
+    CmpxchgReg {
+        /// Operand size.
+        size: u8,
+        /// Destination register.
+        rm: u8,
+        /// Source register.
+        src_reg: u8,
+    },
+    /// Bit ops (`bt`/`bts`/`btr`/`btc`) with memory bit-string addressing.
+    BitOpMem {
+        /// 0 = bt, 1 = bts, 2 = btr, 3 = btc.
+        action: u8,
+        /// Operand size.
+        size: u8,
+        /// Segment.
+        seg: Seg,
+        /// Temp: base effective address.
+        addr: T,
+        /// Temp: bit offset (full width).
+        bitoff: T,
+        /// `true` when the offset is from a register (bit-string addressing).
+        reg_offset: bool,
+    },
+    /// Bit ops on a register.
+    BitOpReg {
+        /// Action as above.
+        action: u8,
+        /// Operand size.
+        size: u8,
+        /// r/m register.
+        rm: u8,
+        /// Temp: bit offset.
+        bitoff: T,
+    },
+    /// `bsf`/`bsr`.
+    BsfBsr {
+        /// Scan forward?
+        forward: bool,
+        /// Operand size.
+        size: u8,
+        /// Temp: source value.
+        src: T,
+        /// Destination register.
+        dst_reg: u8,
+    },
+    /// BCD instruction (identified by opcode); `imm` for aam/aad.
+    Bcd {
+        /// Opcode.
+        opcode: u16,
+        /// Immediate (aam/aad divisor), zero otherwise.
+        imm: u8,
+    },
+    /// String instruction, including REP handling.
+    StringOp {
+        /// Opcode.
+        opcode: u16,
+        /// Element size.
+        size: u8,
+        /// Repeat prefix: 0 none, 1 repe, 2 repne.
+        rep: u8,
+        /// Source segment (after overrides).
+        seg: Seg,
+    },
+    /// `iret` (pop order depends on fidelity, §6.2).
+    Iret {
+        /// Operand size.
+        size: u8,
+    },
+    /// Far return.
+    RetFar {
+        /// Operand size.
+        size: u8,
+        /// Extra stack adjustment.
+        extra: u16,
+    },
+    /// Far jump/call with selector and offset in temps.
+    FarXfer {
+        /// Push a return frame first?
+        call: bool,
+        /// Temp: selector.
+        sel: T,
+        /// Temp: offset.
+        off: T,
+        /// Operand size.
+        size: u8,
+    },
+    /// `enter`.
+    Enter {
+        /// Operand size.
+        size: u8,
+        /// Frame allocation.
+        alloc: u16,
+        /// Nesting level (masked to 5 bits).
+        level: u8,
+    },
+    /// `bound`.
+    Bound {
+        /// Operand size.
+        size: u8,
+        /// Register under test.
+        reg: u8,
+        /// Temp: effective address of the bounds pair.
+        addr: T,
+        /// Segment.
+        seg: Seg,
+    },
+    /// `arpl`: computes the adjusted selector into `out` and sets ZF.
+    Arpl {
+        /// Temp: destination selector value.
+        dst: T,
+        /// Temp: source selector value.
+        src: T,
+        /// Temp: result.
+        out: T,
+    },
+    /// `mov cr, r` / `mov r, cr`.
+    MovCr {
+        /// Writing to the control register?
+        write: bool,
+        /// Control register number.
+        crn: u8,
+        /// GPR number.
+        reg: u8,
+    },
+    /// `sgdt`/`sidt`/`lgdt`/`lidt` (which = group reg field).
+    DescTable {
+        /// Group reg field (0..=3).
+        which: u8,
+        /// Temp: effective address.
+        addr: T,
+        /// Segment.
+        seg: Seg,
+    },
+    /// `smsw` result into temp.
+    Smsw {
+        /// Temp: output.
+        out: T,
+    },
+    /// `lmsw` from temp.
+    Lmsw {
+        /// Temp: input.
+        val: T,
+    },
+    /// `rdmsr`/`wrmsr` — `rdmsr` of an invalid MSR returns 0 instead of #GP
+    /// unless fixed (§6.2).
+    Msr {
+        /// Write (wrmsr)?
+        write: bool,
+    },
+    /// `rdtsc`.
+    Rdtsc,
+    /// `cpuid`.
+    Cpuid,
+    /// `lar`/`lsl`.
+    LarLsl {
+        /// `lsl`?
+        is_lsl: bool,
+        /// Temp: selector.
+        sel: T,
+        /// Destination register.
+        dst_reg: u8,
+        /// Operand size.
+        size: u8,
+    },
+    /// `verr`/`verw`.
+    Verrw {
+        /// Verify for write?
+        write: bool,
+        /// Temp: selector.
+        sel: T,
+    },
+    /// `sldt`/`str` store zero into temp.
+    SldtStr {
+        /// Temp: output.
+        out: T,
+    },
+    /// `lldt`/`ltr` (null selectors only).
+    LldtLtr {
+        /// Temp: selector.
+        sel: T,
+    },
+    /// `clts`.
+    Clts,
+    /// `cli`/`sti` with the IOPL privilege check.
+    CliSti {
+        /// Enable interrupts (`sti`)?
+        enable: bool,
+    },
+    /// `invlpg` (privileged TLB flush).
+    Invlpg,
+    /// `invd`/`wbinvd`.
+    CacheOp,
+    /// `hlt` (with the privilege check).
+    Hlt,
+}
+
+/// One micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uop {
+    /// Marks an instruction boundary: the executor records `cur` for fault
+    /// reporting and advances EIP to `next`.
+    InsnStart {
+        /// Address of this instruction.
+        cur: u32,
+        /// Address of the next instruction.
+        next: u32,
+    },
+    /// Loads a constant into a temp.
+    Const {
+        /// Destination temp.
+        dst: T,
+        /// Value.
+        val: u32,
+    },
+    /// Reads a GPR (sub-register rules as in the ISA).
+    ReadReg {
+        /// Destination temp.
+        dst: T,
+        /// Register number.
+        reg: u8,
+        /// Size in bytes.
+        size: u8,
+    },
+    /// Writes a GPR, preserving untouched bits.
+    WriteReg {
+        /// Register number.
+        reg: u8,
+        /// Size in bytes.
+        size: u8,
+        /// Source temp.
+        src: T,
+    },
+    /// Reads a segment selector into a temp.
+    ReadSel {
+        /// Destination temp.
+        dst: T,
+        /// Segment.
+        seg: Seg,
+    },
+    /// Binary ALU operation (shift counts pre-masked by the translator).
+    Alu {
+        /// Operation.
+        op: AluKind,
+        /// Size in bytes.
+        size: u8,
+        /// Destination temp.
+        dst: T,
+        /// Left operand.
+        a: T,
+        /// Right operand.
+        b: T,
+    },
+    /// Bitwise not.
+    Not {
+        /// Destination temp.
+        dst: T,
+        /// Operand.
+        a: T,
+        /// Size in bytes.
+        size: u8,
+    },
+    /// Two's-complement negate.
+    Neg {
+        /// Destination temp.
+        dst: T,
+        /// Operand.
+        a: T,
+        /// Size in bytes.
+        size: u8,
+    },
+    /// Width change between byte sizes.
+    Ext {
+        /// Destination temp.
+        dst: T,
+        /// Operand.
+        a: T,
+        /// Source size in bytes.
+        from: u8,
+        /// Destination size in bytes.
+        to: u8,
+        /// Sign extend?
+        signed: bool,
+    },
+    /// Byte swap (32-bit).
+    Bswap {
+        /// Destination temp.
+        dst: T,
+        /// Operand.
+        a: T,
+    },
+    /// Fast-path memory load.
+    Ld {
+        /// Destination temp.
+        dst: T,
+        /// Segment.
+        seg: Seg,
+        /// Temp: offset.
+        addr: T,
+        /// Size in bytes.
+        size: u8,
+    },
+    /// Fast-path memory store.
+    St {
+        /// Segment.
+        seg: Seg,
+        /// Temp: offset.
+        addr: T,
+        /// Temp: value.
+        src: T,
+        /// Size in bytes.
+        size: u8,
+    },
+    /// Effective-address computation from register file + displacement.
+    Lea {
+        /// Destination temp.
+        dst: T,
+        /// Base register.
+        base: Option<u8>,
+        /// Index register and scale shift.
+        index: Option<(u8, u8)>,
+        /// Displacement.
+        disp: u32,
+    },
+    /// Records a lazy condition-code update.
+    SetCc {
+        /// Kind.
+        cc: CcKind,
+        /// Size in bytes.
+        size: u8,
+        /// Temp: result.
+        dst: T,
+        /// Temp: first operand (or previous CF for Inc/Dec).
+        a: T,
+        /// Temp: second operand.
+        b: T,
+    },
+    /// Materializes EFLAGS into a temp.
+    GetEflags {
+        /// Destination temp.
+        dst: T,
+    },
+    /// Reads the current CF into a temp.
+    GetCf {
+        /// Destination temp.
+        dst: T,
+    },
+    /// Evaluates an x86 condition code into a temp (0/1).
+    TestCc {
+        /// Destination temp.
+        dst: T,
+        /// Condition code.
+        cc: u8,
+    },
+    /// Conditional select: `dst = cond != 0 ? a : b`.
+    Select {
+        /// Destination temp.
+        dst: T,
+        /// Condition temp.
+        cond: T,
+        /// Value when true.
+        a: T,
+        /// Value when false.
+        b: T,
+    },
+    /// Indirect jump: EIP from a temp. Ends the block.
+    SetEip {
+        /// Temp: target.
+        target: T,
+    },
+    /// Direct jump. Ends the block.
+    SetEipImm {
+        /// Target.
+        target: u32,
+    },
+    /// Conditional direct branch on an x86 condition code. Ends the block.
+    BrCc {
+        /// Condition code.
+        cc: u8,
+        /// Taken target.
+        target: u32,
+    },
+    /// Conditional direct branch on a temp. Ends the block.
+    BrCondT {
+        /// Condition temp.
+        cond: T,
+        /// Taken target.
+        target: u32,
+    },
+    /// Out-of-line helper.
+    Helper(Helper),
+    /// `hlt` flows through [`Helper::Hlt`]; this is an unconditional stop
+    /// used internally after helpers that end execution.
+    Halt,
+    /// Raise a simple exception (no error code), e.g. #UD.
+    Raise {
+        /// Vector number.
+        vector: u8,
+    },
+    /// Raise a software interrupt.
+    Int {
+        /// Vector.
+        vector: u8,
+    },
+    /// `into` (conditional #OF).
+    Into,
+    /// `clc`/`stc`/`cmc` (mode 0/1/2).
+    SetCarry {
+        /// 0 = clear, 1 = set, 2 = complement.
+        mode: u8,
+    },
+    /// `cld`/`std`.
+    SetDirection {
+        /// New DF value.
+        set: bool,
+    },
+}

@@ -1,0 +1,51 @@
+//! # pokemu-solver
+//!
+//! A from-scratch quantifier-free bit-vector decision procedure, standing in
+//! for STP and Z3 in the PokeEMU-rs reproduction of *"Path-Exploration
+//! Lifting: Hi-Fi Tests for Lo-Fi Emulators"* (ASPLOS 2012).
+//!
+//! The crate has three layers:
+//!
+//! * [`term`] — hash-consed, constant-folding bit-vector terms ([`TermPool`]).
+//! * [`blast`] — incremental bit-blasting of terms to CNF ([`blast::Blaster`]).
+//! * [`sat`] — a CDCL SAT core with assumptions ([`sat::Sat`]).
+//!
+//! [`BvSolver`] ties them together into the interface the symbolic execution
+//! engine consumes: incremental satisfiability of path conditions plus model
+//! extraction.
+//!
+//! ## Example
+//!
+//! ```
+//! use pokemu_solver::{BvSolver, TermPool};
+//!
+//! let mut pool = TermPool::new();
+//! let mut solver = BvSolver::new();
+//!
+//! // "x - 15 == 0" — the running example from the paper's §3.1.2.
+//! let x = pool.var(32, "x");
+//! let k = pool.constant(32, 15);
+//! let diff = pool.sub(x, k);
+//! let zero = pool.constant(32, 0);
+//! let cond = pool.eq(diff, zero);
+//!
+//! let model = solver.check_with_model(&pool, &[cond]).expect("feasible");
+//! assert_eq!(model.value_or(pool.variables_of(x)[0], 0), 15);
+//!
+//! // The negated branch is feasible too, with any other value.
+//! let ncond = pool.not(cond);
+//! let model = solver.check_with_model(&pool, &[ncond]).expect("feasible");
+//! assert_ne!(model.value_or(pool.variables_of(x)[0], 15), 15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blast;
+pub mod sat;
+pub mod solver;
+pub mod term;
+
+pub use sat::SatResult;
+pub use solver::{BvSolver, Model, SolverStats};
+pub use term::{mask, sext64, Op, TermId, TermPool, VarId, Width, MAX_WIDTH};

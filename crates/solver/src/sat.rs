@@ -1,0 +1,756 @@
+//! A compact CDCL SAT solver.
+//!
+//! This is the decision-procedure core underneath the bit-vector layer: a
+//! conflict-driven clause-learning solver with two-literal watching, 1UIP
+//! conflict analysis, VSIDS-style variable activity, phase saving, and Luby
+//! restarts. It supports incremental solving under *assumptions*, which is how
+//! the symbolic execution engine asks "is this path condition still feasible?"
+//! thousands of times while sharing all learned clauses across queries
+//! (the paper's use of Z3's incremental mode, §3.1.2).
+//!
+//! The solver is deliberately small: PokeEMU's formulas are dominated by many
+//! cheap queries rather than few hard ones ("most queries completing in a
+//! fraction of a second", §3.1.2), so engineering effort goes into the
+//! incremental interface rather than preprocessing.
+
+/// A propositional variable, identified by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatVar(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: SatVar) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: SatVar) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = positive).
+    pub fn new(v: SatVar, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    /// `true` when this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Three-valued assignment state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// Outcome of a [`Sat::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with [`Sat::model_value`].
+    Sat,
+    /// Unsatisfiable under the given assumptions (or globally, if none).
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Max-heap over variable activities, used for branching decisions.
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<SatVar>,
+    pos: Vec<i32>, // -1 when absent
+}
+
+impl VarOrder {
+    fn grow(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(-1);
+        }
+    }
+
+    fn contains(&self, v: SatVar) -> bool {
+        self.pos[v.0 as usize] >= 0
+    }
+
+    fn insert(&mut self, v: SatVar, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.0 as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<SatVar> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.0 as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.0 as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: SatVar, act: &[f64]) {
+        if let Ok(i) = usize::try_from(self.pos[v.0 as usize]) {
+            self.sift_up(i, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].0 as usize] <= act[self.heap[parent].0 as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].0 as usize] = i as i32;
+        self.pos[self.heap[j].0 as usize] = j as i32;
+    }
+}
+
+/// Statistics counters exposed for the cost-breakdown experiment (E6).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SatStats {
+    /// Number of `solve` calls.
+    pub solves: u64,
+    /// Total conflicts across all solves.
+    pub conflicts: u64,
+    /// Total decisions across all solves.
+    pub decisions: u64,
+    /// Total unit propagations across all solves.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use pokemu_solver::sat::{Lit, Sat, SatResult};
+///
+/// let mut s = Sat::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(&[]), SatResult::Sat);
+/// assert!(s.model_value(b));
+/// // Under the assumption ¬b the instance is unsatisfiable:
+/// assert_eq!(s.solve(&[Lit::neg(b)]), SatResult::Unsat);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sat {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<LBool>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<i64>, // -1 = decision/none
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SatStats,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Sat {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Sat { var_inc: 1.0, ok: true, ..Default::default() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(-1);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    fn value_var(&self, v: SatVar) -> LBool {
+        self.assigns[v.0 as usize]
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.value_var(l.var()) {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_pos() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the instance became trivially
+    /// unsatisfiable (an empty clause at level 0).
+    ///
+    /// Adding a clause invalidates the model of a previous `solve` call.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedup, drop false literals, detect tautology.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut i = 0;
+        while i < c.len() {
+            if i + 1 < c.len() && c[i].var() == c[i + 1].var() {
+                return true; // tautology x ∨ ¬x
+            }
+            match self.value_lit(c[i]) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {
+                    c.remove(i);
+                }
+                LBool::Undef => i += 1,
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], -1);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach(c);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>) -> u32 {
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watch { clause: cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watch { clause: cref, blocker: lits[0] });
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: i64) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assigns[v] = if l.is_pos() { LBool::True } else { LBool::False };
+        self.phase[v] = l.is_pos();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negate();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                if self.value_lit(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.clause as usize;
+                // Maintain invariant: the false literal sits at position 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        let new_watch = self.clauses[cref].lits[1];
+                        self.watches[new_watch.code()]
+                            .push(Watch { clause: w.clause, blocker: first });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, w.clause as i64);
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: SatVar) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.var_inc;
+        if *a > RESCALE_LIMIT {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    /// 1UIP conflict analysis. Returns the learned clause (asserting literal
+    /// first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let cur_level = self.decision_level();
+        loop {
+            let start = usize::from(p.is_some());
+            let lits_len = self.clauses[confl as usize].lits.len();
+            for k in start..lits_len {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var();
+                let vi = v.0 as usize;
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.bump(v);
+                    if self.level[vi] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().0 as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            let v = pl.var().0 as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = u32::try_from(self.reason[v]).expect("implied literal must have a reason");
+            p = Some(pl);
+        }
+        learnt[0] = p.expect("asserting literal").negate();
+        // Clear seen flags for the remaining learned literals.
+        for &l in &learnt[1..] {
+            self.seen[l.var().0 as usize] = false;
+        }
+        // Backtrack level: highest level among learnt[1..]; watch that literal.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().0 as usize]
+                    > self.level[learnt[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().0 as usize]
+        };
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assigns[v.0 as usize] = LBool::Undef;
+            self.reason[v.0 as usize] = -1;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = lim;
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.value_var(v) == LBool::Undef {
+                return Some(Lit::new(v, self.phase[v.0 as usize]));
+            }
+        }
+        None
+    }
+
+    /// Luby sequence value for restart scheduling (0-indexed).
+    fn luby(i: u64) -> u64 {
+        let mut i = i + 1;
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Decides satisfiability under `assumptions`.
+    ///
+    /// Learned clauses persist across calls, making repeated feasibility
+    /// queries on growing path conditions cheap. After [`SatResult::Sat`],
+    /// [`Sat::model_value`] reads the satisfying assignment.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats.solves += 1;
+        self.backtrack(0);
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let mut conflicts_this_restart = 0u64;
+        let mut restart_no = 0u64;
+        let mut restart_budget = 100 * Self::luby(restart_no);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], -1);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach(learnt);
+                    self.enqueue(asserting, cref as i64);
+                }
+                self.var_inc *= VAR_DECAY;
+                if conflicts_this_restart >= restart_budget {
+                    self.stats.restarts += 1;
+                    restart_no += 1;
+                    restart_budget = 100 * Self::luby(restart_no);
+                    conflicts_this_restart = 0;
+                    self.backtrack(0);
+                }
+            } else {
+                // Assumption decisions first.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value_lit(a) {
+                        LBool::True => self.new_decision_level(),
+                        LBool::False => {
+                            // Conflicts with previous assumptions/clauses.
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
+                }
+                if next.is_none() {
+                    next = self.pick_branch();
+                }
+                match next {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        self.enqueue(l, -1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying assignment.
+    ///
+    /// Unassigned variables (possible after `Sat` when a variable is not
+    /// constrained) read as `false`.
+    pub fn model_value(&self, v: SatVar) -> bool {
+        matches!(self.value_var(v), LBool::True)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Sat, i: usize, pos: bool, vars: &mut Vec<SatVar>) -> Lit {
+        while vars.len() <= i {
+            vars.push(s.new_var());
+        }
+        Lit::new(vars[i], pos)
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = Sat::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.model_value(a));
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_pollute() {
+        let mut s = Sat::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(&[Lit::neg(a), Lit::neg(b)]), SatResult::Unsat);
+        // Still satisfiable without the assumptions.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.solve(&[Lit::neg(a)]), SatResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j. Classic small UNSAT instance that
+        // requires real conflict analysis.
+        let mut s = Sat::new();
+        let mut p = [[SatVar(0); 2]; 3];
+        for row in &mut p {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn chain_implications_propagate() {
+        let mut s = Sat::new();
+        let mut vars = Vec::new();
+        let n = 50;
+        for i in 0..n - 1 {
+            let a = lit(&mut s, i, false, &mut vars);
+            let b = lit(&mut s, i + 1, true, &mut vars);
+            s.add_clause(&[a, b]); // v_i -> v_{i+1}
+        }
+        let first = Lit::pos(vars[0]);
+        assert_eq!(s.solve(&[first]), SatResult::Sat);
+        for v in &vars {
+            assert!(s.model_value(*v));
+        }
+        let last_neg = Lit::neg(vars[n - 2]);
+        assert_eq!(s.solve(&[first, last_neg]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..60 {
+            let nvars = rng.gen_range(3..=8usize);
+            let nclauses = rng.gen_range(1..=24usize);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..nvars);
+                    let p: bool = rng.gen();
+                    c.push((v, p));
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'assign: for m in 0u32..(1 << nvars) {
+                for c in &clauses {
+                    if !c.iter().any(|&(v, p)| ((m >> v) & 1 == 1) == p) {
+                        continue 'assign;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Sat::new();
+            let vars: Vec<SatVar> = (0..nvars).map(|_| s.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                let lits: Vec<Lit> = c.iter().map(|&(v, p)| Lit::new(vars[v], p)).collect();
+                ok &= s.add_clause(&lits);
+            }
+            let got = if !ok { SatResult::Unsat } else { s.solve(&[]) };
+            assert_eq!(got == SatResult::Sat, brute_sat, "mismatch on {clauses:?}");
+            if got == SatResult::Sat {
+                // Verify the model actually satisfies all clauses.
+                for c in &clauses {
+                    assert!(c.iter().any(|&(v, p)| s.model_value(vars[v]) == p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Sat::luby(i as u64), e, "luby({i})");
+        }
+    }
+}

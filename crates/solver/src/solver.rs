@@ -1,0 +1,154 @@
+//! The bit-vector decision procedure facade used by the symbolic engine.
+//!
+//! [`BvSolver`] answers one kind of question: *is this conjunction of width-1
+//! terms satisfiable, and if so under what variable assignment?* That is
+//! exactly the interface FuzzBALL needs from STP/Z3 (paper §3.1.2): path
+//! conditions are conjunctions of branch conditions, and solving is
+//! incremental because successive queries share a growing prefix.
+
+use std::collections::HashMap;
+
+use crate::blast::Blaster;
+use crate::sat::{Lit, SatResult, SatStats};
+use crate::term::{TermId, TermPool, VarId};
+
+/// A satisfying assignment for the bit-vector variables of a formula.
+///
+/// Variables that never appeared in any constraint are absent; callers decide
+/// their value (PokeEMU leaves them at the baseline machine state, §3.4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<VarId, u64>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a model from raw `(variable, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, u64)>) -> Self {
+        Model { values: pairs.into_iter().collect() }
+    }
+
+    /// The value assigned to `v`, if constrained.
+    pub fn value(&self, v: VarId) -> Option<u64> {
+        self.values.get(&v).copied()
+    }
+
+    /// The value assigned to `v`, or `default` when unconstrained.
+    pub fn value_or(&self, v: VarId, default: u64) -> u64 {
+        self.value(v).unwrap_or(default)
+    }
+
+    /// Sets (or overrides) the value of `v`.
+    pub fn set(&mut self, v: VarId, value: u64) {
+        self.values.insert(v, value);
+    }
+
+    /// Iterates over the constrained `(variable, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.values.iter().map(|(&v, &x)| (v, x))
+    }
+
+    /// Number of constrained variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no variable is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// View of the model as an evaluation environment for [`TermPool::eval`].
+    pub fn as_env(&self) -> &HashMap<VarId, u64> {
+        &self.values
+    }
+}
+
+/// Cumulative query statistics (E6 cost-breakdown experiment).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverStats {
+    /// Number of satisfiability checks issued.
+    pub queries: u64,
+    /// Checks that returned SAT.
+    pub sat: u64,
+    /// Checks that returned UNSAT.
+    pub unsat: u64,
+    /// Statistics of the underlying SAT core.
+    pub sat_core: SatStats,
+}
+
+/// Incremental QF_BV solver: the STP/Z3 stand-in.
+///
+/// # Examples
+///
+/// ```
+/// use pokemu_solver::{BvSolver, TermPool};
+///
+/// let mut pool = TermPool::new();
+/// let mut solver = BvSolver::new();
+/// let x = pool.var(8, "x");
+/// let lim = pool.constant(8, 10);
+/// let lt = pool.ult(x, lim);
+/// let model = solver.check_with_model(&pool, &[lt]).expect("satisfiable");
+/// let vx = model.value(pool.variables_of(x)[0]).unwrap();
+/// assert!(vx < 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct BvSolver {
+    blaster: Blaster,
+    stats: SolverStats,
+}
+
+impl BvSolver {
+    /// Creates a fresh solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks satisfiability of the conjunction of `assumptions`.
+    ///
+    /// Every assumption must be a width-1 term. Learned clauses persist
+    /// across calls; assumptions do not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption term does not have width 1.
+    pub fn check(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
+        self.stats.queries += 1;
+        let lits: Vec<Lit> =
+            assumptions.iter().map(|&t| self.blaster.blast_bool(pool, t)).collect();
+        let r = self.blaster.sat().solve(&lits);
+        match r {
+            SatResult::Sat => self.stats.sat += 1,
+            SatResult::Unsat => self.stats.unsat += 1,
+        }
+        self.stats.sat_core = self.blaster.sat_ref().stats();
+        r
+    }
+
+    /// Like [`BvSolver::check`], returning a [`Model`] on satisfiability.
+    pub fn check_with_model(&mut self, pool: &TermPool, assumptions: &[TermId]) -> Option<Model> {
+        match self.check(pool, assumptions) {
+            SatResult::Unsat => None,
+            SatResult::Sat => {
+                let mut model = Model::new();
+                for i in 0..pool.num_vars() {
+                    let v = VarId(i as u32);
+                    if let Some(val) = self.blaster.model_value(v) {
+                        model.set(v, val);
+                    }
+                }
+                Some(model)
+            }
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the bit-vector decision procedure.
+//!
+//! The central invariant: for any term `t` and any concrete assignment, the
+//! solver must agree with the interpreter (`TermPool::eval`). We check it in
+//! both directions:
+//!
+//! 1. *Model soundness*: if the solver says SAT and returns a model, the model
+//!    must evaluate the formula to true.
+//! 2. *Completeness on pinned inputs*: asserting `var == value` for every
+//!    variable must be SAT exactly when the formula evaluates to true.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use pokemu_solver::{BvSolver, SatResult, TermId, TermPool, VarId, Width};
+
+/// A recipe for building a random term over a fixed set of variables.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Var(usize),
+    Const(u64),
+    Unary(u8, Box<Recipe>),
+    Binary(u8, Box<Recipe>, Box<Recipe>),
+    Ite(Box<Recipe>, Box<Recipe>, Box<Recipe>),
+}
+
+fn recipe_strategy(depth: u32) -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(Recipe::Var),
+        any::<u64>().prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (0u8..2, inner.clone()).prop_map(|(op, a)| Recipe::Unary(op, Box::new(a))),
+            (0u8..11, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Recipe::Binary(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| Recipe::Ite(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(pool: &mut TermPool, vars: &[TermId], w: Width, r: &Recipe) -> TermId {
+    match r {
+        Recipe::Var(i) => vars[i % vars.len()],
+        Recipe::Const(c) => pool.constant(w, *c),
+        Recipe::Unary(op, a) => {
+            let a = build(pool, vars, w, a);
+            match op % 2 {
+                0 => pool.not(a),
+                _ => pool.neg(a),
+            }
+        }
+        Recipe::Binary(op, a, b) => {
+            let a = build(pool, vars, w, a);
+            let b = build(pool, vars, w, b);
+            match op % 11 {
+                0 => pool.and(a, b),
+                1 => pool.or(a, b),
+                2 => pool.xor(a, b),
+                3 => pool.add(a, b),
+                4 => pool.sub(a, b),
+                5 => pool.mul(a, b),
+                6 => pool.shl(a, b),
+                7 => pool.lshr(a, b),
+                8 => pool.ashr(a, b),
+                9 => pool.udiv(a, b),
+                _ => pool.urem(a, b),
+            }
+        }
+        Recipe::Ite(c, a, b) => {
+            let c = build(pool, vars, w, c);
+            let a = build(pool, vars, w, a);
+            let b = build(pool, vars, w, b);
+            let zero = pool.constant(w, 0);
+            let cond = pool.ne(c, zero);
+            pool.ite(cond, a, b)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SAT models must satisfy the asserted equality `t == target`.
+    #[test]
+    fn model_soundness(recipe in recipe_strategy(3), target in any::<u64>(), w in prop_oneof![Just(4u8), Just(8u8), Just(13u8)]) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..3).map(|i| pool.var(w, &format!("v{i}"))).collect();
+        let t = build(&mut pool, &vars, w, &recipe);
+        let k = pool.constant(w, target);
+        let cond = pool.eq(t, k);
+        let mut solver = BvSolver::new();
+        if let Some(model) = solver.check_with_model(&pool, &[cond]) {
+            let mut env: HashMap<VarId, u64> = HashMap::new();
+            for i in 0..3 {
+                env.insert(VarId(i), model.value_or(VarId(i), 0));
+            }
+            prop_assert_eq!(pool.eval(cond, &env), 1, "model does not satisfy: {}", pool.display(cond));
+        }
+    }
+
+    /// With every variable pinned, satisfiability must equal evaluation.
+    #[test]
+    fn pinned_inputs_match_eval(recipe in recipe_strategy(3), vals in prop::array::uniform3(any::<u64>()), target in any::<u64>(), w in prop_oneof![Just(4u8), Just(7u8)]) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..3).map(|i| pool.var(w, &format!("v{i}"))).collect();
+        let t = build(&mut pool, &vars, w, &recipe);
+        let k = pool.constant(w, target);
+        let cond = pool.eq(t, k);
+        let mut assumptions = vec![cond];
+        let mut env: HashMap<VarId, u64> = HashMap::new();
+        for (i, (&v, &val)) in vars.iter().zip(vals.iter()).enumerate() {
+            let c = pool.constant(w, val);
+            assumptions.push(pool.eq(v, c));
+            env.insert(VarId(i as u32), pokemu_solver::mask(w, val));
+        }
+        let expect = pool.eval(cond, &env) == 1;
+        let mut solver = BvSolver::new();
+        let got = solver.check(&pool, &assumptions) == SatResult::Sat;
+        prop_assert_eq!(got, expect, "term: {}", pool.display(t));
+    }
+
+    /// Comparison operators agree with native Rust semantics.
+    #[test]
+    fn comparisons_match_native(a in any::<u64>(), b in any::<u64>(), w in prop_oneof![Just(8u8), Just(16u8), Just(32u8)]) {
+        let mut pool = TermPool::new();
+        let av = pool.var(w, "a");
+        let bv = pool.var(w, "b");
+        let am = pokemu_solver::mask(w, a);
+        let bm = pokemu_solver::mask(w, b);
+        let ac = pool.constant(w, a);
+        let bc = pool.constant(w, b);
+        let pin_a = pool.eq(av, ac);
+        let pin_b = pool.eq(bv, bc);
+
+        let ult = pool.ult(av, bv);
+        let slt = pool.slt(av, bv);
+        let eq = pool.eq(av, bv);
+
+        let mut solver = BvSolver::new();
+        let sat = |s: &mut BvSolver, p: &TermPool, extra: pokemu_solver::TermId| {
+            s.check(p, &[pin_a, pin_b, extra]) == SatResult::Sat
+        };
+        prop_assert_eq!(sat(&mut solver, &pool, ult), am < bm);
+        let expect_slt = pokemu_solver::sext64(w, am) < pokemu_solver::sext64(w, bm);
+        prop_assert_eq!(sat(&mut solver, &pool, slt), expect_slt);
+        prop_assert_eq!(sat(&mut solver, &pool, eq), am == bm);
+    }
+}
+
+/// Exhaustive check of all 4-bit binary-operator circuits against `eval`.
+#[test]
+fn exhaustive_4bit_ops_via_solver() {
+    let w: Width = 4;
+    let ops: [&str; 8] = ["add", "sub", "mul", "udiv", "urem", "shl", "lshr", "ashr"];
+    for op in ops {
+        let mut pool = TermPool::new();
+        let a = pool.var(w, "a");
+        let b = pool.var(w, "b");
+        let t = match op {
+            "add" => pool.add(a, b),
+            "sub" => pool.sub(a, b),
+            "mul" => pool.mul(a, b),
+            "udiv" => pool.udiv(a, b),
+            "urem" => pool.urem(a, b),
+            "shl" => pool.shl(a, b),
+            "lshr" => pool.lshr(a, b),
+            _ => pool.ashr(a, b),
+        };
+        let mut solver = BvSolver::new();
+        // Sample the full 8-bit input space sparsely but deterministically.
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let xc = pool.constant(w, x);
+                let yc = pool.constant(w, y);
+                let pa = pool.eq(a, xc);
+                let pb = pool.eq(b, yc);
+                let mut env = HashMap::new();
+                env.insert(VarId(0), x);
+                env.insert(VarId(1), y);
+                let expect = pool.eval(t, &env);
+                let ec = pool.constant(w, expect);
+                let matches = pool.eq(t, ec);
+                assert_eq!(
+                    solver.check(&pool, &[pa, pb, matches]),
+                    SatResult::Sat,
+                    "{op}({x},{y}) should be {expect}"
+                );
+                let differs = pool.not(matches);
+                assert_eq!(
+                    solver.check(&pool, &[pa, pb, differs]),
+                    SatResult::Unsat,
+                    "{op}({x},{y}) must uniquely be {expect}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! State-difference minimization (paper §3.4).
+//!
+//! The decision procedure assigns arbitrary values to bits that the explored
+//! path never constrained, which makes generated tests noisy and can even
+//! break them (e.g. randomizing the permissions of the code segment that the
+//! test itself must be fetched through). The fix is a greedy single pass:
+//! start from the solver's satisfying assignment, and for each bit that
+//! differs from the *baseline* machine state, try resetting it to the
+//! baseline value; keep the reset whenever the path condition still holds.
+//!
+//! Because the assignment is total, "still holds" needs only *evaluation* of
+//! the path condition, never another solver call — the same algorithm the
+//! paper describes ("our current approach based on evaluation was simple to
+//! implement", §3.4) at the same cost.
+
+use std::collections::HashMap;
+
+use pokemu_solver::{mask, Model, TermId, TermPool, VarId};
+
+/// Statistics from one minimization run (experiment E8).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Bits differing from the baseline before minimization.
+    pub bits_before: usize,
+    /// Bits differing from the baseline after minimization.
+    pub bits_after: usize,
+    /// Path-condition evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Greedily minimizes `model` against `baseline`, preserving satisfaction of
+/// `path_condition`.
+///
+/// `baseline` maps each variable to its value in the baseline machine state;
+/// variables absent from it default to zero. Variables absent from `model`
+/// (never constrained by the path) are taken at baseline, matching the
+/// motivation of §3.4.
+///
+/// Returns the minimized model (a total assignment over the union of model
+/// and baseline variables) plus statistics.
+pub fn minimize(
+    pool: &TermPool,
+    path_condition: &[TermId],
+    model: &Model,
+    baseline: &HashMap<VarId, u64>,
+) -> (Model, MinimizeStats) {
+    let mut stats = MinimizeStats::default();
+    let base = |v: VarId| baseline.get(&v).copied().unwrap_or(0);
+
+    // Total working assignment: baseline overlaid with the solver model.
+    let mut env: HashMap<VarId, u64> = HashMap::new();
+    for i in 0..pool.num_vars() {
+        let v = VarId(i as u32);
+        let w = pool.var_width(v);
+        env.insert(v, mask(w, model.value(v).unwrap_or_else(|| base(v))));
+    }
+
+    let satisfied = |env: &HashMap<VarId, u64>, stats: &mut MinimizeStats| -> bool {
+        stats.evaluations += 1;
+        let mut cache = HashMap::new();
+        path_condition.iter().all(|&t| pool.eval_cached(t, env, &mut cache) == 1)
+    };
+    debug_assert!(satisfied(&env.clone(), &mut stats), "model must satisfy the path condition");
+
+    // Deterministic iteration order: by variable id, then bit index.
+    let mut vars: Vec<VarId> = env.keys().copied().collect();
+    vars.sort_unstable();
+
+    // Record the initial difference size once.
+    for &v in &vars {
+        let w = pool.var_width(v);
+        stats.bits_before += ((env[&v] ^ mask(w, base(v))).count_ones()) as usize;
+    }
+
+    // Greedy passes to a fixpoint (bounded): constraints couple variables
+    // (e.g. a selector RPL and a descriptor DPL must move together), so a
+    // single pass can get stuck where several passes converge. The paper
+    // notes the same ("potentially making multiple passes could further
+    // reduce the size of the difference", §3.4).
+    for _pass in 0..4 {
+        let mut changed = false;
+        for &v in &vars {
+            let w = pool.var_width(v);
+            let bval = mask(w, base(v));
+            let cur = env[&v];
+            if cur == bval {
+                continue;
+            }
+            // Whole-variable restore first (cheap and common)...
+            env.insert(v, bval);
+            if satisfied(&env, &mut stats) {
+                changed = true;
+                continue;
+            }
+            env.insert(v, cur);
+            // ...then bit-by-bit.
+            for bit in 0..w {
+                let m = 1u64 << bit;
+                let cur = env[&v];
+                if cur & m == bval & m {
+                    continue;
+                }
+                let flipped = (cur & !m) | (bval & m);
+                env.insert(v, flipped);
+                if !satisfied(&env, &mut stats) {
+                    env.insert(v, cur); // revert
+                } else {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for &v in &vars {
+        let w = pool.var_width(v);
+        stats.bits_after += ((env[&v] ^ mask(w, base(v))).count_ones()) as usize;
+    }
+
+    let minimized = Model::from_pairs(env);
+    (minimized, stats)
+}
+
+/// The locations where `model` still differs from `baseline`, as
+/// `(variable, value)` pairs sorted by variable. This is exactly the "test
+/// state" the generator must establish (paper §4.2).
+pub fn diff_from_baseline(
+    pool: &TermPool,
+    model: &Model,
+    baseline: &HashMap<VarId, u64>,
+) -> Vec<(VarId, u64)> {
+    let mut out = Vec::new();
+    for (v, val) in model.iter() {
+        let w = pool.var_width(v);
+        let b = mask(w, baseline.get(&v).copied().unwrap_or(0));
+        if val != b {
+            out.push((v, val));
+        }
+    }
+    out.sort_unstable_by_key(|&(v, _)| v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dom;
+    use crate::engine::Executor;
+
+    #[test]
+    fn unconstrained_bits_return_to_baseline() {
+        let mut exec = Executor::new();
+        let r = exec.explore(|e| {
+            let x = e.fresh_input(32, "x");
+            // Constrain only bit 31.
+            let sign = e.extract(x, 31, 31);
+            e.branch(sign, "sign")
+        });
+        assert_eq!(r.paths.len(), 2);
+        let mut baseline = HashMap::new();
+        baseline.insert(VarId(0), 0u64);
+        for p in &r.paths {
+            let (min, stats) = minimize(exec.pool(), &p.path_condition, &p.model, &baseline);
+            let v = min.value_or(VarId(0), 0);
+            if p.value {
+                // Sign bit must stay 1; all other bits must return to 0.
+                assert_eq!(v, 0x8000_0000, "only the constrained bit may differ");
+                assert_eq!(stats.bits_after, 1);
+            } else {
+                assert_eq!(v, 0, "fully unconstrained path should equal baseline");
+                assert_eq!(stats.bits_after, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_never_breaks_the_path_condition() {
+        let mut exec = Executor::new();
+        let r = exec.explore(|e| {
+            let x = e.fresh_input(16, "x");
+            let y = e.fresh_input(16, "y");
+            let s = e.add(x, y);
+            let k = e.constant(16, 0x1234);
+            let c = e.eq(s, k);
+            e.branch(c, "sum")
+        });
+        let baseline = HashMap::new();
+        for p in &r.paths {
+            let (min, _) = minimize(exec.pool(), &p.path_condition, &p.model, &baseline);
+            let mut cache = HashMap::new();
+            let mut env = HashMap::new();
+            for (v, val) in min.iter() {
+                env.insert(v, val);
+            }
+            for &t in &p.path_condition {
+                assert_eq!(exec.pool().eval_cached(t, &env, &mut cache), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_lists_only_changed_locations() {
+        let mut pool = pokemu_solver::TermPool::new();
+        let _a = pool.var(8, "a");
+        let _b = pool.var(8, "b");
+        let model = Model::from_pairs([(VarId(0), 5u64), (VarId(1), 7u64)]);
+        let mut baseline = HashMap::new();
+        baseline.insert(VarId(0), 5u64);
+        let d = diff_from_baseline(&pool, &model, &baseline);
+        assert_eq!(d, vec![(VarId(1), 7)]);
+    }
+}

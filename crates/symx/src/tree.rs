@@ -1,0 +1,220 @@
+//! The decision tree that steers path exploration (paper §3.1.2).
+//!
+//! Each node represents the occurrence of a symbolic branch on a particular
+//! execution path; its two out-edges are the "false" and "true" directions.
+//! Per direction the tree caches whether the direction has been *checked for
+//! feasibility* (saving decision-procedure calls on replayed prefixes) and
+//! whether the subtree below has been *fully explored*, so the engine never
+//! re-runs a completed path and knows when exploration has converged.
+
+/// Index of a node in the tree arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The root node id.
+    pub const ROOT: NodeId = NodeId(0);
+}
+
+/// Cached feasibility of one branch direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Not yet asked the decision procedure.
+    Unknown,
+    /// Satisfiable together with the path prefix.
+    Feasible,
+    /// Unsatisfiable together with the path prefix.
+    Infeasible,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<(NodeId, bool)>,
+    children: [Option<NodeId>; 2],
+    feasible: [Feasibility; 2],
+    /// Direction subtree fully explored (or proven infeasible).
+    done: [bool; 2],
+    /// Set when a path *terminates* at this node (it is a leaf position).
+    terminal: bool,
+}
+
+impl Node {
+    fn new(parent: Option<(NodeId, bool)>) -> Self {
+        Node {
+            parent,
+            children: [None, None],
+            feasible: [Feasibility::Unknown, Feasibility::Unknown],
+            done: [false, false],
+            terminal: false,
+        }
+    }
+}
+
+/// Arena-allocated binary decision tree.
+#[derive(Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionTree {
+    /// Creates a tree containing only the root.
+    pub fn new() -> Self {
+        DecisionTree { nodes: vec![Node::new(None)] }
+    }
+
+    /// Number of nodes allocated (a measure of explored branch sites).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Cached feasibility for `dir` at `n`.
+    pub fn feasibility(&self, n: NodeId, dir: bool) -> Feasibility {
+        self.nodes[n.0 as usize].feasible[dir as usize]
+    }
+
+    /// Records a feasibility verdict for `dir` at `n`.
+    ///
+    /// An infeasible direction is immediately marked done.
+    pub fn set_feasibility(&mut self, n: NodeId, dir: bool, f: Feasibility) {
+        self.nodes[n.0 as usize].feasible[dir as usize] = f;
+        if f == Feasibility::Infeasible {
+            self.nodes[n.0 as usize].done[dir as usize] = true;
+            self.propagate_done(n);
+        }
+    }
+
+    /// Whether direction `dir` below `n` has been exhausted.
+    pub fn dir_done(&self, n: NodeId, dir: bool) -> bool {
+        self.nodes[n.0 as usize].done[dir as usize]
+    }
+
+    /// Whether the entire subtree rooted at `n` is exhausted.
+    pub fn node_done(&self, n: NodeId) -> bool {
+        let node = &self.nodes[n.0 as usize];
+        if node.terminal {
+            return true;
+        }
+        node.done[0] && node.done[1]
+    }
+
+    /// Whether all exploration is complete.
+    pub fn fully_explored(&self) -> bool {
+        self.node_done(NodeId::ROOT)
+    }
+
+    /// The child of `n` in direction `dir`, creating it if absent.
+    pub fn child(&mut self, n: NodeId, dir: bool) -> NodeId {
+        if let Some(c) = self.nodes[n.0 as usize].children[dir as usize] {
+            return c;
+        }
+        let c = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(Some((n, dir))));
+        self.nodes[n.0 as usize].children[dir as usize] = Some(c);
+        c
+    }
+
+    /// The existing child of `n` in direction `dir`, if any.
+    pub fn child_opt(&self, n: NodeId, dir: bool) -> Option<NodeId> {
+        self.nodes[n.0 as usize].children[dir as usize]
+    }
+
+    /// Marks the current path as terminating at `n` and propagates
+    /// exhaustion toward the root ("propagates the bit indicating that a
+    /// subtree has been fully explored back up the tree", §3.1.2).
+    pub fn finish_at(&mut self, n: NodeId) {
+        self.nodes[n.0 as usize].terminal = true;
+        self.nodes[n.0 as usize].done = [true, true];
+        self.propagate_done(n);
+    }
+
+    /// Forcibly marks `dir` at `n` exhausted (used for truncated paths so
+    /// exploration still terminates; the run is then flagged incomplete).
+    pub fn force_done(&mut self, n: NodeId, dir: bool) {
+        self.nodes[n.0 as usize].done[dir as usize] = true;
+        self.propagate_done(n);
+    }
+
+    fn propagate_done(&mut self, mut n: NodeId) {
+        loop {
+            let node = &self.nodes[n.0 as usize];
+            let all = node.terminal || (node.done[0] && node.done[1]);
+            if !all {
+                return;
+            }
+            match node.parent {
+                None => return,
+                Some((p, dir)) => {
+                    let pd = &mut self.nodes[p.0 as usize].done[dir as usize];
+                    if *pd {
+                        return; // already propagated
+                    }
+                    *pd = true;
+                    n = p;
+                }
+            }
+        }
+    }
+
+    /// Directions at `n` worth exploring: feasible-or-unknown and not done.
+    pub fn candidate_dirs(&self, n: NodeId) -> Vec<bool> {
+        [false, true]
+            .into_iter()
+            .filter(|&d| {
+                !self.dir_done(n, d)
+                    && self.feasibility(n, d) != Feasibility::Infeasible
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_propagates_to_root() {
+        let mut t = DecisionTree::new();
+        // Root branch: both sides feasible, each side one leaf.
+        t.set_feasibility(NodeId::ROOT, false, Feasibility::Feasible);
+        t.set_feasibility(NodeId::ROOT, true, Feasibility::Feasible);
+        let l = t.child(NodeId::ROOT, false);
+        t.finish_at(l);
+        assert!(!t.fully_explored());
+        assert!(t.dir_done(NodeId::ROOT, false));
+        let r = t.child(NodeId::ROOT, true);
+        t.finish_at(r);
+        assert!(t.fully_explored());
+    }
+
+    #[test]
+    fn infeasible_direction_counts_as_done() {
+        let mut t = DecisionTree::new();
+        t.set_feasibility(NodeId::ROOT, true, Feasibility::Infeasible);
+        assert!(t.dir_done(NodeId::ROOT, true));
+        assert_eq!(t.candidate_dirs(NodeId::ROOT), vec![false]);
+        let l = t.child(NodeId::ROOT, false);
+        t.set_feasibility(NodeId::ROOT, false, Feasibility::Feasible);
+        t.finish_at(l);
+        assert!(t.fully_explored());
+    }
+
+    #[test]
+    fn child_is_stable() {
+        let mut t = DecisionTree::new();
+        let a = t.child(NodeId::ROOT, true);
+        let b = t.child(NodeId::ROOT, true);
+        assert_eq!(a, b);
+        assert_eq!(t.child_opt(NodeId::ROOT, false), None);
+    }
+}

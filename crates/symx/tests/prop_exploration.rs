@@ -1,0 +1,152 @@
+//! Property tests for the exploration engine: completeness and soundness of
+//! the decision tree against brute-force enumeration.
+
+use std::collections::{HashMap, HashSet};
+
+use pokemu_solver::VarId;
+use pokemu_symx::{Dom, Executor, ExploreConfig};
+use proptest::prelude::*;
+
+/// A tiny branching program over one 4-bit input: a cascade of threshold
+/// branches. Returns the trace of branch decisions as a bitmask.
+fn threshold_program<D: Dom>(d: &mut D, x: D::V, cuts: &[u8]) -> u32 {
+    let mut trace = 0u32;
+    for (i, &c) in cuts.iter().enumerate() {
+        let k = d.constant(4, c as u64 & 0xf);
+        let lt = d.ult(x, k);
+        if d.branch(lt, "threshold") {
+            trace |= 1 << i;
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exploration discovers exactly the set of traces reachable by some
+    /// concrete input — no more, no fewer (soundness + completeness).
+    #[test]
+    fn exploration_matches_brute_force(cuts in prop::collection::vec(0u8..16, 1..5)) {
+        // Brute force over all 16 inputs.
+        let mut expected: HashSet<u32> = HashSet::new();
+        for x in 0u8..16 {
+            let mut trace = 0u32;
+            for (i, &c) in cuts.iter().enumerate() {
+                if (x & 0xf) < (c & 0xf) {
+                    trace |= 1 << i;
+                }
+            }
+            expected.insert(trace);
+        }
+        // Symbolic exploration.
+        let mut exec = Executor::new();
+        let cuts2 = cuts.clone();
+        let r = exec.explore(move |e| {
+            let x = e.fresh_input(4, "x");
+            threshold_program(e, x, &cuts2)
+        });
+        prop_assert!(r.complete);
+        let got: HashSet<u32> = r.paths.iter().map(|p| p.value).collect();
+        prop_assert_eq!(&got, &expected, "traces must match brute force");
+        prop_assert_eq!(r.paths.len(), expected.len(), "one path per distinct trace");
+
+        // Soundness: each path's model reproduces its trace concretely.
+        for p in &r.paths {
+            let x = p.model.value_or(VarId(0), 0) as u8;
+            let mut trace = 0u32;
+            for (i, &c) in cuts.iter().enumerate() {
+                if (x & 0xf) < (c & 0xf) {
+                    trace |= 1 << i;
+                }
+            }
+            prop_assert_eq!(trace, p.value, "model input {} must replay the path", x);
+        }
+    }
+
+    /// Path conditions always evaluate to true under their own model.
+    #[test]
+    fn models_satisfy_path_conditions(cuts in prop::collection::vec(0u8..16, 1..4)) {
+        let mut exec = Executor::new();
+        let cuts2 = cuts.clone();
+        let r = exec.explore(move |e| {
+            let x = e.fresh_input(4, "x");
+            let y = e.fresh_input(4, "y");
+            let s = e.add(x, y);
+            threshold_program(e, s, &cuts2)
+        });
+        prop_assert!(r.complete);
+        for p in &r.paths {
+            let mut env: HashMap<VarId, u64> = HashMap::new();
+            for (_, v) in exec.named_vars() {
+                env.insert(v, p.model.value_or(v, 0));
+            }
+            for &t in &p.path_condition {
+                prop_assert_eq!(exec.pool().eval(t, &env), 1);
+            }
+        }
+    }
+
+    /// `concretize` enumerates exactly the feasible values of a constrained
+    /// word.
+    #[test]
+    fn concretize_enumeration_is_exact(lo in 0u8..12, span in 1u8..5) {
+        let hi = lo.saturating_add(span).min(15);
+        let mut exec = Executor::new();
+        let r = exec.explore(move |e| {
+            let x = e.fresh_input(4, "x");
+            let lov = e.constant(4, lo as u64);
+            let hiv = e.constant(4, hi as u64);
+            let ge = e.ule(lov, x);
+            e.assume(ge);
+            let le = e.ule(x, hiv);
+            e.assume(le);
+            e.concretize(x, "value")
+        });
+        prop_assert!(r.complete);
+        let mut got: Vec<u64> = r.paths.iter().map(|p| p.value).collect();
+        got.sort_unstable();
+        let expected: Vec<u64> = (lo as u64..=hi as u64).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// The decision tree never revisits a completed path even when the program
+/// contains nested loops.
+#[test]
+fn nested_loops_terminate_and_cover() {
+    let mut exec = Executor::with_config(ExploreConfig { max_paths: 256, ..Default::default() });
+    let r = exec.explore(|e| {
+        let n = e.fresh_input(4, "n");
+        let four = e.constant(4, 4);
+        let bounded = e.ult(n, four);
+        e.assume(bounded);
+        let mut total = 0u32;
+        // for i in 0..n { for j in 0..i { total += 1 } }
+        let mut i = 0u64;
+        loop {
+            let iv = e.constant(4, i);
+            let c = e.ult(iv, n);
+            if !e.branch(c, "outer") {
+                break;
+            }
+            let mut j = 0u64;
+            loop {
+                let jv = e.constant(4, j);
+                let c = e.ult(jv, iv);
+                if !e.branch(c, "inner") {
+                    break;
+                }
+                total += 1;
+                j += 1;
+            }
+            i += 1;
+        }
+        total
+    });
+    assert!(r.complete);
+    // n in 0..=3 -> totals 0, 0, 1, 3.
+    let mut totals: Vec<u32> = r.paths.iter().map(|p| p.value).collect();
+    totals.sort_unstable();
+    assert_eq!(totals, vec![0, 0, 1, 3]);
+}

@@ -1,0 +1,87 @@
+//! Complete test programs (paper §4, Fig. 4).
+//!
+//! A test program is the image a target boots: the fixed baseline
+//! initializer, the per-test state initializers, the test instruction, and
+//! `hlt`. Execution ends by halting or by an exception (whose baseline IDT
+//! handler halts), at which point the harness snapshots the machine.
+
+use pokemu_isa::asm::Asm;
+
+use crate::gadgets::{GadgetPlan, GadgetError, TestState};
+use crate::layout::{self, CODE_BASE};
+
+/// A runnable test: code image plus metadata.
+#[derive(Debug, Clone)]
+pub struct TestProgram {
+    /// Human-readable identity (instruction class + path id).
+    pub name: String,
+    /// The code blob, loaded at [`layout::CODE_BASE`].
+    pub code: Vec<u8>,
+    /// Offset of the test instruction within `code` (diagnostics).
+    pub test_insn_offset: u32,
+    /// The raw test-instruction bytes.
+    pub test_insn: Vec<u8>,
+    /// The state items this test establishes.
+    pub state: TestState,
+}
+
+impl TestProgram {
+    /// Builds a test program from a test state and instruction bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GadgetError`] if the state cannot be sequenced.
+    pub fn build(name: String, state: TestState, test_insn: &[u8]) -> Result<TestProgram, GadgetError> {
+        let plan = GadgetPlan::build(&state)?;
+        let mut a = Asm::new();
+        layout::emit_baseline(&mut a, CODE_BASE);
+        plan.emit(&mut a, CODE_BASE);
+        let test_insn_offset = a.len() as u32;
+        a.raw(test_insn);
+        a.hlt();
+        Ok(TestProgram {
+            name,
+            code: a.into_bytes(),
+            test_insn_offset,
+            test_insn: test_insn.to_vec(),
+            state,
+        })
+    }
+
+    /// A test with the baseline state only (no initializers).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for interface uniformity.
+    pub fn baseline_only(name: String, test_insn: &[u8]) -> Result<TestProgram, GadgetError> {
+        Self::build(name, TestState::default(), test_insn)
+    }
+
+    /// The linear address of the test instruction.
+    pub fn test_insn_address(&self) -> u32 {
+        CODE_BASE + self.test_insn_offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::StateItem;
+    use pokemu_isa::state::Gpr;
+
+    #[test]
+    fn builds_the_fig5_push_eax_test() {
+        // The paper's Fig. 5 sample: push %eax with a modified SS descriptor.
+        let state = TestState {
+            items: vec![
+                StateItem::Gpr(Gpr::Esp, 0x002007dc),
+                StateItem::MemByte(layout::GDT_BASE + 10 * 8 + 5, 0x13),
+                StateItem::MemByte(layout::GDT_BASE + 10 * 8 + 6, 0xcf),
+            ],
+        };
+        let prog = TestProgram::build("push_eax/fig5".into(), state, &[0x50]).unwrap();
+        assert_eq!(prog.code[prog.test_insn_offset as usize], 0x50);
+        assert_eq!(*prog.code.last().unwrap(), 0xf4);
+        assert!(prog.code.len() > 150);
+    }
+}

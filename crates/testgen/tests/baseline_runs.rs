@@ -1,0 +1,120 @@
+//! End-to-end check: the baseline initializer brings both emulators to the
+//! same state, and a trivial test program halts cleanly on both.
+
+use pokemu_hifi::{HiFi, RunExit as HiExit};
+use pokemu_isa::state::{attrs, Seg};
+use pokemu_lofi::{Fidelity, Lofi, RunExit as LoExit};
+use pokemu_symx::Dom;
+use pokemu_testgen::{boot_state, layout, TestProgram};
+
+/// Applies the boot-loader state to the Hi-Fi emulator and loads the code.
+fn boot_hifi(prog: &TestProgram) -> HiFi {
+    let boot = boot_state();
+    let mut emu = HiFi::new();
+    {
+        let (d, m) = emu.parts_mut();
+        m.cr0 = d.constant(32, boot.cr0 as u64);
+        m.eip = boot.eip;
+        m.gpr[4] = d.constant(32, boot.esp as u64);
+        for seg in Seg::ALL {
+            let typ: u64 = if seg == Seg::Cs { 0xb } else { 0x3 };
+            let a = typ
+                | (1 << attrs::S as u64)
+                | (1 << attrs::P as u64)
+                | (1 << attrs::DB as u64)
+                | (1 << attrs::G as u64);
+            let s = &mut m.segs[seg as usize];
+            s.selector = d.constant(16, 0x8);
+            s.cache.base = d.constant(32, 0);
+            s.cache.limit = d.constant(32, 0xffff_ffff);
+            s.cache.attrs = d.constant(attrs::WIDTH, a);
+        }
+    }
+    emu.load_image(layout::CODE_BASE, &prog.code);
+    emu
+}
+
+/// Applies the boot-loader state to the Lo-Fi emulator and loads the code.
+fn boot_lofi(prog: &TestProgram, fid: Fidelity) -> Lofi {
+    let boot = boot_state();
+    let mut emu = Lofi::new(fid);
+    {
+        let m = emu.machine_mut();
+        m.cr0 = boot.cr0;
+        m.eip = boot.eip;
+        m.gpr[4] = boot.esp;
+        for i in 0..6 {
+            let typ: u16 = if i == 1 { 0xb } else { 0x3 };
+            m.segs[i] = pokemu_lofi::state::LofiSeg {
+                selector: 0x8,
+                base: 0,
+                limit: 0xffff_ffff,
+                attrs: typ
+                    | (1 << attrs::S as u16)
+                    | (1 << attrs::P as u16)
+                    | (1 << attrs::DB as u16)
+                    | (1 << attrs::G as u16),
+            };
+        }
+    }
+    emu.load_image(layout::CODE_BASE, &prog.code);
+    emu
+}
+
+#[test]
+fn baseline_plus_nop_halts_on_both_emulators() {
+    let prog = TestProgram::baseline_only("nop".into(), &[0x90]).unwrap();
+
+    let mut hi = boot_hifi(&prog);
+    let hi_exit = hi.run(20_000);
+    assert_eq!(hi_exit, HiExit::Halted, "Hi-Fi must complete the baseline");
+
+    let mut lo = boot_lofi(&prog, Fidelity::QEMU_LIKE);
+    let lo_exit = lo.run(20_000);
+    assert_eq!(lo_exit, LoExit::Halted, "Lo-Fi must complete the baseline");
+
+    let hs = hi.snapshot(hi_exit);
+    let ls = lo.snapshot(lo_exit);
+    let diffs = hs.diff(&ls);
+    assert!(diffs.is_empty(), "baseline must be identical:\n{}", diffs.join("\n"));
+
+    // Paging is on and the environment is as §4.1 describes.
+    assert_eq!(hs.cr0 & 0x8000_0001, 0x8000_0001, "PE and PG set");
+    assert_eq!(hs.cr3 & 0xffff_f000, layout::PD_BASE);
+    assert_eq!(hs.gdtr, (layout::GDT_BASE, layout::GDT_LIMIT));
+    assert_eq!(hs.segs[Seg::Ss as usize].selector, 10 << 3, "SS uses GDT entry 10");
+    assert_eq!(hs.gpr, [0, 0, 0, 0, layout::STACK_TOP, 0, 0, 0]);
+    assert_eq!(hs.eflags, layout::BASE_EFLAGS);
+}
+
+#[test]
+fn fig5_push_eax_test_runs_on_both() {
+    use pokemu_testgen::{StateItem, TestState};
+    use pokemu_isa::state::Gpr;
+    let state = TestState {
+        items: vec![
+            StateItem::Gpr(Gpr::Esp, 0x002007dc),
+            StateItem::MemByte(layout::GDT_BASE + 10 * 8 + 5, 0x13),
+            StateItem::MemByte(layout::GDT_BASE + 10 * 8 + 6, 0xcf),
+        ],
+    };
+    let prog = TestProgram::build("push_eax".into(), state, &[0x50]).unwrap();
+    let mut hi = boot_hifi(&prog);
+    let hi_exit = hi.run(20_000);
+    // Byte 5 = 0x13 clears the present bit: the SS reload gadget itself
+    // faults with #SS(sel). A test ending in an exception is still a valid
+    // test (paper §4: "either halts normally or raises an exception").
+    assert_eq!(
+        hi_exit,
+        HiExit::Exception(pokemu_isa::Exception::Ss(10 << 3)),
+        "modified descriptor is not present"
+    );
+
+    let mut lo = boot_lofi(&prog, Fidelity::QEMU_LIKE);
+    let lo_exit = lo.run(20_000);
+    assert_eq!(lo_exit, LoExit::Exception(pokemu_isa::Exception::Ss(10 << 3)));
+
+    // And the final states agree byte for byte.
+    let d = hi.snapshot(hi_exit).diff(&lo.snapshot(lo_exit));
+    assert!(d.is_empty(), "final states must agree:\n{}", d.join("\n"));
+}

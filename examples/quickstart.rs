@@ -1,0 +1,52 @@
+//! Quickstart: lift tests from the Hi-Fi emulator for one instruction and
+//! cross-validate the Lo-Fi emulator against the hardware oracle.
+//!
+//! ```text
+//! cargo run --release --example quickstart [first_byte_hex]
+//! ```
+
+use pokemu::harness::{run_cross_validation, PipelineConfig};
+
+fn main() {
+    // `leave` by default: small, and it carries one of the paper's headline
+    // findings (the non-atomic ESP update, §6.2).
+    let first_byte = std::env::args()
+        .nth(1)
+        .map(|s| u8::from_str_radix(s.trim_start_matches("0x"), 16).expect("hex byte"))
+        .unwrap_or(0xc9);
+
+    println!("== PokeEMU-rs quickstart: exploring opcode {first_byte:#04x} ==\n");
+    let report = run_cross_validation(PipelineConfig {
+        first_byte: Some(first_byte),
+        max_paths_per_insn: 256,
+        ..PipelineConfig::default()
+    });
+
+    println!("candidate encodings:   {}", report.candidates);
+    println!("unique instructions:   {}", report.unique_instructions);
+    println!(
+        "fully explored:        {} ({:.0}%)",
+        report.fully_explored,
+        100.0 * report.fully_explored as f64 / report.unique_instructions.max(1) as f64
+    );
+    println!("test programs (paths): {}", report.total_paths);
+    println!();
+    println!("differences vs hardware (raw):      lofi={}  hifi={}", report.lofi_differences, report.hifi_differences);
+    println!("after undefined-behavior filter:    lofi={}  hifi={}", report.lofi_filtered, report.hifi_filtered);
+    println!();
+    println!("Lo-Fi root-cause clusters:");
+    for (cause, count, examples) in report.lofi_clusters.iter() {
+        println!("  {count:6}  {cause}   e.g. {}", examples.first().cloned().unwrap_or_default());
+    }
+    if report.lofi_clusters.is_empty() {
+        println!("  (none)");
+    }
+    println!();
+    println!("Hi-Fi root-cause clusters:");
+    for (cause, count, examples) in report.hifi_clusters.iter() {
+        println!("  {count:6}  {cause}   e.g. {}", examples.first().cloned().unwrap_or_default());
+    }
+    if report.hifi_clusters.is_empty() {
+        println!("  (none)");
+    }
+}

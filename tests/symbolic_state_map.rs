@@ -1,0 +1,105 @@
+//! F3: the symbolic machine-state map of the paper's Figure 3.
+//!
+//! Asserts exactly which parts of the machine state exploration marks
+//! symbolic and which stay concrete.
+
+use pokemu::explore::symstate;
+use pokemu::harness::baseline_snapshot;
+use pokemu::isa::state::Gpr;
+use pokemu::symx::{Dom, Executor};
+use pokemu::testgen::layout;
+
+#[test]
+fn figure3_symbolic_concrete_split() {
+    let baseline = baseline_snapshot();
+    let mut exec = Executor::new();
+    // Register the descriptor-load summary, as state-space exploration does
+    // (§3.3.2): machine construction is then branch-free.
+    let summary = exec.summarize(
+        &[(32, "lo"), (32, "hi"), (16, "sel"), (2, "cpl"), (2, "kind")],
+        |e, f| pokemu::isa::translate::descriptor_checks(e, f[0], f[1], f[2], f[3], f[4]).to_vec(),
+    );
+    exec.register_summary(pokemu::isa::translate::DESC_SUMMARY_KEY, summary);
+    let template = symstate::symbolic_memory_template(&mut exec, &baseline);
+    let r = exec.explore(|e| {
+        let mut m = symstate::symbolic_machine(e, &baseline, &template);
+
+        // GPRs: symbolic.
+        for rn in Gpr::ALL {
+            assert!(e.as_const(m.gpr[rn as usize]).is_none(), "{} must be symbolic", rn.name());
+        }
+        // EIP: concrete (Fig. 3: "the instruction pointer needs to be
+        // concrete").
+        assert_eq!(m.eip, layout::CODE_BASE);
+        // EFLAGS: symbolic as a whole...
+        assert!(e.as_const(m.eflags).is_none());
+        // CR3 base and table bases: concrete pointers.
+        assert_eq!(m.cr3_base, layout::PD_BASE);
+        assert_eq!(m.gdtr.base, layout::GDT_BASE);
+        assert_eq!(m.idtr.base, layout::IDT_BASE);
+        // ...but their limits are symbolic.
+        assert!(e.as_const(m.gdtr.limit).is_none());
+        // CR0/CR4 symbolic; CR2 concrete.
+        assert!(e.as_const(m.cr0).is_none());
+        assert!(e.as_const(m.cr4).is_none());
+        // Segment selectors symbolic; descriptor-cache base derived from
+        // concrete base bytes must fold to the baseline base (0).
+        for s in pokemu::isa::Seg::ALL {
+            assert!(e.as_const(m.segs[s as usize].selector).is_none());
+            // The descriptor's *base* bytes (2, 3, 4, 7) are concrete in the
+            // GDT (Fig. 3 leaves base addresses concrete); the limit and
+            // attribute bytes (0, 1, 5, 6) are symbolic.
+            let entry = layout::GDT_BASE + layout::gdt_index(s) as u32 * 8;
+            for off in [2u32, 3, 4, 7] {
+                let b = m.mem.read_u8(e, entry + off);
+                assert!(e.as_const(b).is_some(), "{} base byte {off} concrete", s.name());
+            }
+            for off in [0u32, 1, 5, 6] {
+                let b = m.mem.read_u8(e, entry + off);
+                assert!(e.as_const(b).is_none(), "{} byte {off} symbolic", s.name());
+            }
+            // The recomputed attribute word depends on the symbolic bytes.
+            assert!(e.as_const(m.segs[s as usize].cache.attrs).is_none());
+        }
+        // PDE flag byte: symbolic; PDE address bytes: concrete.
+        let pde_flags = m.mem.read_u8(e, layout::PD_BASE);
+        assert!(e.as_const(pde_flags).is_none(), "PDE flag byte symbolic");
+        let pde_addr_byte = m.mem.read_u8(e, layout::PD_BASE + 2);
+        assert!(e.as_const(pde_addr_byte).is_some(), "PDE address byte concrete");
+        // PTE flag byte likewise.
+        let pte_flags = m.mem.read_u8(e, layout::PT_BASE + 4);
+        assert!(e.as_const(pte_flags).is_none());
+        // Unused physical memory: symbolic on demand.
+        let unused = m.mem.read_u8(e, 0x0030_0000);
+        assert!(e.as_const(unused).is_none(), "unused memory is on-demand symbolic");
+        // Test code bytes: concrete.
+        let code = m.mem.read_u8(e, layout::CODE_BASE);
+        assert!(e.as_const(code).is_some(), "code bytes are concrete");
+    });
+    assert!(r.complete);
+}
+
+#[test]
+fn named_locations_round_trip_to_gadgets() {
+    // Every symbolic location name converts to a state-initializer item.
+    for (name, value) in [
+        ("eax", 0x1234u64),
+        ("esp", 0x2007dc),
+        ("eflags", 0x246),
+        ("sel_ss", 0x53),
+        ("cr0", 0x8000_0011),
+        ("cr4", 0x10),
+        ("cr3_flags", 0x18),
+        ("gdtr_limit", 0x7f),
+        ("idtr_limit", 0xff),
+        ("msr_sysenter_cs", 0x8),
+        ("mem_00208055", 0x13),
+    ] {
+        assert!(
+            symstate::state_item_of(name, value).is_some(),
+            "{name} must map to a gadget"
+        );
+    }
+    // Non-state variables (summary formals) do not.
+    assert!(symstate::state_item_of("summary_lo_0", 1).is_none());
+}
