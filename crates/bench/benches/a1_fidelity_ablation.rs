@@ -2,10 +2,10 @@
 //! cluster, demonstrating the paper's claim that the generated tests "can
 //! be used again in the future to validate the implementation" (§6.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::harness::{run_cross_validation, PipelineConfig, RootCause};
 use pokemu::lofi::Fidelity;
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn run(byte: u8, fid: Fidelity) -> (usize, Vec<String>) {
     let r = run_cross_validation(PipelineConfig {
@@ -14,15 +14,43 @@ fn run(byte: u8, fid: Fidelity) -> (usize, Vec<String>) {
         lofi_fidelity: fid,
         ..PipelineConfig::default()
     });
-    let causes = r.lofi_clusters.iter().map(|(c, n, _)| format!("{c} x{n}")).collect();
+    let causes = r
+        .lofi_clusters
+        .iter()
+        .map(|(c, n, _)| format!("{c} x{n}"))
+        .collect();
     (r.lofi_filtered, causes)
 }
 
 fn report() {
     let rows: &[(&str, u8, Fidelity, RootCause)] = &[
-        ("leave atomicity", 0xc9, Fidelity { atomic_leave: true, ..Fidelity::QEMU_LIKE }, RootCause::AtomicityViolation),
-        ("segment checks", 0xa2, Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE }, RootCause::MissingSegmentChecks),
-        ("encodings", 0xd6, Fidelity { accept_undocumented: true, ..Fidelity::QEMU_LIKE }, RootCause::EncodingRejected),
+        (
+            "leave atomicity",
+            0xc9,
+            Fidelity {
+                atomic_leave: true,
+                ..Fidelity::QEMU_LIKE
+            },
+            RootCause::AtomicityViolation,
+        ),
+        (
+            "segment checks",
+            0xa2,
+            Fidelity {
+                enforce_segment_checks: true,
+                ..Fidelity::QEMU_LIKE
+            },
+            RootCause::MissingSegmentChecks,
+        ),
+        (
+            "encodings",
+            0xd6,
+            Fidelity {
+                accept_undocumented: true,
+                ..Fidelity::QEMU_LIKE
+            },
+            RootCause::EncodingRejected,
+        ),
     ];
     for (label, byte, fixed, _cause) in rows {
         let (base_diffs, base_causes) = run(*byte, Fidelity::QEMU_LIKE);
@@ -32,9 +60,10 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("a1");
+    let mut bench = Bench::new("a1");
+    let mut g = bench.group("a1");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
@@ -43,6 +72,3 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

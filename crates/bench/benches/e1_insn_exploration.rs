@@ -3,43 +3,56 @@
 //! counts for a deterministic opcode sweep and benchmarks the symbolic
 //! decoder exploration itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::explore::{explore_instruction_space, InsnSpaceConfig};
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn report() {
     let mut candidates = 0usize;
     let mut unique = 0usize;
     let mut invalid = 0usize;
     for &b in pokemu_bench::SWEEP_BYTES {
-        let r = explore_instruction_space(InsnSpaceConfig { first_byte: Some(b), second_byte: None, max_paths: 100_000 });
+        let r = explore_instruction_space(InsnSpaceConfig {
+            first_byte: Some(b),
+            second_byte: None,
+            max_paths: 100_000,
+        });
         candidates += r.candidates;
         unique += r.classes.len();
         invalid += r.invalid;
     }
     println!("[E1] sweep {:?}:", pokemu_bench::SWEEP_BYTES);
     println!("[E1] candidates={candidates} unique={unique} invalid_paths={invalid}");
-    println!("[E1] paper shape: candidates >> unique ({})", candidates > 2 * unique);
+    println!(
+        "[E1] paper shape: candidates >> unique ({})",
+        candidates > 2 * unique
+    );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("e1");
+    let mut bench = Bench::new("e1");
+    let mut g = bench.group("e1");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("explore_decoder_group_f7", |b| {
         b.iter(|| {
-            explore_instruction_space(InsnSpaceConfig { first_byte: Some(0xf7), second_byte: None, max_paths: 100_000 })
+            explore_instruction_space(InsnSpaceConfig {
+                first_byte: Some(0xf7),
+                second_byte: None,
+                max_paths: 100_000,
+            })
         })
     });
     g.bench_function("explore_decoder_simple_push", |b| {
         b.iter(|| {
-            explore_instruction_space(InsnSpaceConfig { first_byte: Some(0x50), second_byte: None, max_paths: 1000 })
+            explore_instruction_space(InsnSpaceConfig {
+                first_byte: Some(0x50),
+                second_byte: None,
+                max_paths: 1000,
+            })
         })
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! of instructions with complete path coverage, cap 8192). Prints per-
 //! instruction path counts and coverage, and benchmarks exploration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::explore::{explore_state_space, StateSpaceConfig};
 use pokemu::harness::baseline_snapshot;
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn report() {
     let baseline = baseline_snapshot();
@@ -17,12 +17,18 @@ fn report() {
         ("div ecx", &[0xf7, 0xf1]),
         ("leave", &[0xc9]),
         ("mov ds, ax", &[0x8e, 0xd8]),
-        
     ];
     println!("[E2] instruction | paths | complete coverage");
     let mut complete = 0;
     for (name, bytes) in insns {
-        let s = explore_state_space(bytes, &baseline, StateSpaceConfig { max_paths: 256, ..Default::default() });
+        let s = explore_state_space(
+            bytes,
+            &baseline,
+            StateSpaceConfig {
+                max_paths: 256,
+                ..Default::default()
+            },
+        );
         println!("[E2] {name:14} | {:5} | {}", s.paths.len(), s.complete);
         complete += s.complete as usize;
     }
@@ -33,25 +39,37 @@ fn report() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let baseline = baseline_snapshot();
-    let mut g = c.benchmark_group("e2");
+    let mut bench = Bench::new("e2");
+    let mut g = bench.group("e2");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("explore_state_space_div", |b| {
         b.iter(|| {
-            explore_state_space(&[0xf7, 0xf1], &baseline, StateSpaceConfig { max_paths: 128, ..Default::default() })
+            explore_state_space(
+                &[0xf7, 0xf1],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 128,
+                    ..Default::default()
+                },
+            )
         })
     });
     g.bench_function("explore_state_space_leave", |b| {
         b.iter(|| {
-            explore_state_space(&[0xc9], &baseline, StateSpaceConfig { max_paths: 64, ..Default::default() })
+            explore_state_space(
+                &[0xc9],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 64,
+                    ..Default::default()
+                },
+            )
         })
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,11 +3,13 @@
 //! measured difference counts for the sweep (the shape: Lo-Fi >> Hi-Fi)
 //! and benchmarks test execution on each target.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use pokemu::harness::{run_cross_validation, PipelineConfig, HiFiTarget, LofiTarget, HardwareTarget, Target};
+use pokemu::harness::{
+    run_cross_validation, HardwareTarget, HiFiTarget, LofiTarget, PipelineConfig, Target,
+};
 use pokemu::lofi::Fidelity;
 use pokemu::testgen::TestProgram;
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn report() {
     let mut paths = 0usize;
@@ -31,20 +33,27 @@ fn report() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let prog = TestProgram::baseline_only("bench".into(), &[0x90]).unwrap();
-    let mut g = c.benchmark_group("e3_target_execution");
+    let mut bench = Bench::new("e3_target_execution");
+    let mut g = bench.group("e3_target_execution");
     g.sample_size(20);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
-    g.bench_function("hifi_run_test_program", |b| b.iter(|| HiFiTarget.run_program(&prog)));
-    g.bench_function("lofi_run_test_program", |b| {
-        b.iter(|| LofiTarget { fidelity: Fidelity::QEMU_LIKE }.run_program(&prog))
+    g.bench_function("hifi_run_test_program", |b| {
+        b.iter(|| HiFiTarget.run_program(&prog))
     });
-    g.bench_function("hardware_run_test_program", |b| b.iter(|| HardwareTarget.run_program(&prog)));
+    g.bench_function("lofi_run_test_program", |b| {
+        b.iter(|| {
+            LofiTarget {
+                fidelity: Fidelity::QEMU_LIKE,
+            }
+            .run_program(&prog)
+        })
+    });
+    g.bench_function("hardware_run_test_program", |b| {
+        b.iter(|| HardwareTarget.run_program(&prog))
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

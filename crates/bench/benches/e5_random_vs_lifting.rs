@@ -3,9 +3,9 @@
 //! random-testing studies missed). Prints root-cause class counts for both
 //! approaches at equal test budgets.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::harness::{run_cross_validation, run_random_baseline, PipelineConfig, RandomConfig};
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn report() {
     // Lifting on the finding-bearing opcodes.
@@ -23,32 +23,55 @@ fn report() {
         }
     }
     // Random testing with the same budget.
-    let r = run_random_baseline(RandomConfig { tests: lift_paths, ..Default::default() });
-    let rand_causes: std::collections::BTreeSet<String> =
-        r.lofi_clusters.iter().map(|(c, _, _)| c.to_string()).collect();
+    let r = run_random_baseline(RandomConfig {
+        tests: lift_paths,
+        ..Default::default()
+    });
+    let rand_causes: std::collections::BTreeSet<String> = r
+        .lofi_clusters
+        .iter()
+        .map(|(c, _, _)| c.to_string())
+        .collect();
     let identified = |set: &std::collections::BTreeSet<String>| -> Vec<String> {
-        set.iter().filter(|c| !c.starts_with("other")).cloned().collect()
+        set.iter()
+            .filter(|c| !c.starts_with("other"))
+            .cloned()
+            .collect()
     };
     let lift_named = identified(&lift_causes);
     let rand_named = identified(&rand_causes);
     println!("[E5] equal budget: {lift_paths} tests each");
-    println!("[E5] lifting identified {} named root causes: {:?}", lift_named.len(), lift_named);
-    println!("[E5] random  identified {} named root causes: {:?}", rand_named.len(), rand_named);
-    let missed: Vec<_> = lift_named.iter().filter(|c| !rand_named.contains(c)).collect();
+    println!(
+        "[E5] lifting identified {} named root causes: {:?}",
+        lift_named.len(),
+        lift_named
+    );
+    println!(
+        "[E5] random  identified {} named root causes: {:?}",
+        rand_named.len(),
+        rand_named
+    );
+    let missed: Vec<_> = lift_named
+        .iter()
+        .filter(|c| !rand_named.contains(c))
+        .collect();
     println!("[E5] named classes random testing missed: {missed:?} (paper: e.g. iret read order)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("e5");
+    let mut bench = Bench::new("e5");
+    let mut g = bench.group("e5");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("random_baseline_50_tests", |b| {
-        b.iter(|| run_random_baseline(RandomConfig { tests: 50, ..Default::default() }))
+        b.iter(|| {
+            run_random_baseline(RandomConfig {
+                tests: 50,
+                ..Default::default()
+            })
+        })
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,17 +2,26 @@
 //! "lies in the invocations of the solver" and dominates; generation and
 //! execution are both highly parallelizable — 3x8-core EC2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::explore::{explore_state_space, StateSpaceConfig};
-use pokemu::harness::{baseline_snapshot, run_cross_validation, run_on_all_targets, PipelineConfig};
+use pokemu::harness::{
+    baseline_snapshot, run_cross_validation, run_on_all_targets, PipelineConfig,
+};
 use pokemu::lofi::Fidelity;
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 use std::time::Instant;
 
 fn report() {
     let baseline = baseline_snapshot();
     let t = Instant::now();
-    let space = explore_state_space(&[0xf7, 0xf1], &baseline, StateSpaceConfig { max_paths: 64, ..Default::default() });
+    let space = explore_state_space(
+        &[0xf7, 0xf1],
+        &baseline,
+        StateSpaceConfig {
+            max_paths: 64,
+            ..Default::default()
+        },
+    );
     let gen = t.elapsed();
     let progs = pokemu::explore::to_test_programs(&space, "e6");
     let t = Instant::now();
@@ -30,31 +39,57 @@ fn report() {
         gen.as_secs_f64() / exec.as_secs_f64().max(1e-9)
     );
     for threads in [1usize, 2] {
-        let t = Instant::now();
-        let _ = run_cross_validation(PipelineConfig {
+        let cv = run_cross_validation(PipelineConfig {
             first_byte: Some(0x80),
             max_paths_per_insn: 32,
             threads,
             ..PipelineConfig::default()
         });
-        println!("[E6] pipeline (opcode 0x80) with {threads} threads: {:?}", t.elapsed());
+        let s = &cv.stages;
+        println!(
+            "[E6] pipeline (opcode 0x80) with {threads} threads: total {:?} \
+             (explore {:?}, generate {:?}, execute {:?}, analyze {:?}; \
+             parallel wall {:?}; {} solver queries)",
+            s.total_wall,
+            s.explore_insns,
+            s.generate,
+            s.execute,
+            s.analyze,
+            s.parallel_wall,
+            s.solver_queries
+        );
+        for w in &s.workers {
+            println!(
+                "[E6]   worker {}: {} insns, busy {:?}",
+                w.worker, w.items, w.busy
+            );
+        }
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let baseline = baseline_snapshot();
-    let mut g = c.benchmark_group("e6");
+    let mut bench = Bench::new("e6");
+    let mut g = bench.group("e6");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("generation_unit", |b| {
-        b.iter(|| explore_state_space(&[0x74, 0x02], &baseline, StateSpaceConfig { max_paths: 16, ..Default::default() }))
+        b.iter(|| {
+            explore_state_space(
+                &[0x74, 0x02],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 16,
+                    ..Default::default()
+                },
+            )
+        })
     });
     let prog = pokemu::testgen::TestProgram::baseline_only("e6".into(), &[0x90]).unwrap();
-    g.bench_function("execution_unit", |b| b.iter(|| run_on_all_targets(&prog, Fidelity::QEMU_LIKE)));
+    g.bench_function("execution_unit", |b| {
+        b.iter(|| run_on_all_targets(&prog, Fidelity::QEMU_LIKE))
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,12 +3,12 @@
 //! the space by 23^6 ≈ 1.48e8). Compares exploration of a segment-loading
 //! instruction with and without the summary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::explore::{explore_state_space, StateSpaceConfig};
 use pokemu::harness::baseline_snapshot;
 use pokemu::isa::translate::descriptor_checks;
 use pokemu::symx::Executor;
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn report() {
     // The summarized computation itself has the paper's ~23 path count.
@@ -17,7 +17,10 @@ fn report() {
         &[(32, "lo"), (32, "hi"), (16, "sel"), (2, "cpl"), (2, "kind")],
         |e, f| descriptor_checks(e, f[0], f[1], f[2], f[3], f[4]).to_vec(),
     );
-    println!("[E7] descriptor-load computation: {} paths (paper: 23)", summary.cases());
+    println!(
+        "[E7] descriptor-load computation: {} paths (paper: 23)",
+        summary.cases()
+    );
 
     let baseline = baseline_snapshot();
     for (label, use_summaries) in [("with summary", true), ("without summary", false)] {
@@ -25,7 +28,11 @@ fn report() {
         let s = explore_state_space(
             &[0x8e, 0xd8],
             &baseline,
-            StateSpaceConfig { max_paths: 384, use_summaries, ..Default::default() },
+            StateSpaceConfig {
+                max_paths: 384,
+                use_summaries,
+                ..Default::default()
+            },
         );
         println!(
             "[E7] mov ds,ax {label:16}: {} paths complete={} queries={} in {:?}",
@@ -37,21 +44,39 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let baseline = baseline_snapshot();
-    let mut g = c.benchmark_group("e7");
+    let mut bench = Bench::new("e7");
+    let mut g = bench.group("e7");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("seg_load_with_summary", |b| {
-        b.iter(|| explore_state_space(&[0x8e, 0xd8], &baseline, StateSpaceConfig { max_paths: 64, use_summaries: true, ..Default::default() }))
+        b.iter(|| {
+            explore_state_space(
+                &[0x8e, 0xd8],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 64,
+                    use_summaries: true,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.bench_function("seg_load_without_summary", |b| {
-        b.iter(|| explore_state_space(&[0x8e, 0xd8], &baseline, StateSpaceConfig { max_paths: 64, use_summaries: false, ..Default::default() }))
+        b.iter(|| {
+            explore_state_space(
+                &[0x8e, 0xd8],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 64,
+                    use_summaries: false,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

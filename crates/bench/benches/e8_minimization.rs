@@ -2,17 +2,29 @@
 //! return to the baseline; none of the generated tests broke initializer
 //! generation). Prints bits-before/after and generation success rates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pokemu::explore::{explore_state_space, StateSpaceConfig};
 use pokemu::harness::baseline_snapshot;
 use pokemu::testgen::TestProgram;
+use pokemu_rt::bench::Bench;
+use std::time::Duration;
 
 fn report() {
     let baseline = baseline_snapshot();
     let (mut before, mut after, mut ok, mut fail) = (0usize, 0usize, 0usize, 0usize);
-    for insn in [vec![0xc9u8], vec![0x74, 2], vec![0xf7, 0xf1], vec![0x8e, 0xd8]] {
-        let s = explore_state_space(&insn, &baseline, StateSpaceConfig { max_paths: 128, ..Default::default() });
+    for insn in [
+        vec![0xc9u8],
+        vec![0x74, 2],
+        vec![0xf7, 0xf1],
+        vec![0x8e, 0xd8],
+    ] {
+        let s = explore_state_space(
+            &insn,
+            &baseline,
+            StateSpaceConfig {
+                max_paths: 128,
+                ..Default::default()
+            },
+        );
         for p in &s.paths {
             before += p.minimize.bits_before;
             after += p.minimize.bits_after;
@@ -22,26 +34,46 @@ fn report() {
             }
         }
     }
-    println!("[E8] bits differing from baseline: {before} -> {after} ({:.1}% kept)",
-        100.0 * after as f64 / before.max(1) as f64);
+    println!(
+        "[E8] bits differing from baseline: {before} -> {after} ({:.1}% kept)",
+        100.0 * after as f64 / before.max(1) as f64
+    );
     println!("[E8] initializer generation: {ok} ok / {fail} failures (paper: zero failures)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let baseline = baseline_snapshot();
-    let mut g = c.benchmark_group("e8");
+    let mut bench = Bench::new("e8");
+    let mut g = bench.group("e8");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("explore_with_minimization", |b| {
-        b.iter(|| explore_state_space(&[0x74, 2], &baseline, StateSpaceConfig { max_paths: 16, minimize: true, ..Default::default() }))
+        b.iter(|| {
+            explore_state_space(
+                &[0x74, 2],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 16,
+                    minimize: true,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.bench_function("explore_without_minimization", |b| {
-        b.iter(|| explore_state_space(&[0x74, 2], &baseline, StateSpaceConfig { max_paths: 16, minimize: false, ..Default::default() }))
+        b.iter(|| {
+            explore_state_space(
+                &[0x74, 2],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 16,
+                    minimize: false,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! A fast end-to-end check of the bench harness, suitable for CI: runs one
+//! tiny benchmark from each pipeline stage with millisecond budgets and
+//! verifies the JSON output file appears and parses shallowly. Exits
+//! non-zero on any failure, so `scripts/ci.sh` can gate on it.
+
+use std::time::Duration;
+
+use pokemu::explore::{
+    explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
+};
+use pokemu::harness::{baseline_snapshot, run_on_all_targets};
+use pokemu::lofi::Fidelity;
+use pokemu_rt::bench::Bench;
+
+fn main() {
+    let baseline = baseline_snapshot();
+    let mut bench = Bench::new("smoke");
+    let mut g = bench.group("smoke");
+    g.sample_size(3)
+        .warm_up_time(Duration::from_millis(20))
+        .measurement_time(Duration::from_millis(120));
+    g.bench_function("insn_exploration", |b| {
+        b.iter(|| {
+            explore_instruction_space(InsnSpaceConfig {
+                first_byte: Some(0x50),
+                second_byte: None,
+                max_paths: 1000,
+            })
+        })
+    });
+    g.bench_function("state_exploration", |b| {
+        b.iter(|| {
+            explore_state_space(
+                &[0x74, 0x02],
+                &baseline,
+                StateSpaceConfig {
+                    max_paths: 8,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    let prog = pokemu::testgen::TestProgram::baseline_only("smoke".into(), &[0x90])
+        .expect("nop program builds");
+    g.bench_function("execution", |b| {
+        b.iter(|| run_on_all_targets(&prog, Fidelity::QEMU_LIKE))
+    });
+    g.finish();
+
+    let path = bench.out_path().to_path_buf();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("bench JSON missing at {}: {e}", path.display()));
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON line per benchmark: {text}");
+    for line in lines {
+        for key in [
+            "\"suite\":\"smoke\"",
+            "\"median_ns\":",
+            "\"p95_ns\":",
+            "\"iters_per_sample\":",
+        ] {
+            assert!(line.contains(key), "{key} missing from {line}");
+        }
+    }
+    println!("[smoke-bench] OK: 3 benchmarks, JSON at {}", path.display());
+}

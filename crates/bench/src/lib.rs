@@ -3,7 +3,7 @@
 //! Every bench regenerates one experiment of the paper's evaluation
 //! (see DESIGN.md's experiment index and EXPERIMENTS.md for the results):
 //! it prints the measured table rows and times the dominant computation
-//! with Criterion.
+//! with the `pokemu_rt::bench` timer harness (JSON lines in `target/bench/`).
 
 /// A tiny deterministic opcode set exercising all decode forms, used by
 /// benches that sweep instructions.

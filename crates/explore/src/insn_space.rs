@@ -50,7 +50,11 @@ pub struct InsnSpaceConfig {
 
 impl Default for InsnSpaceConfig {
     fn default() -> Self {
-        InsnSpaceConfig { first_byte: None, second_byte: None, max_paths: 400_000 }
+        InsnSpaceConfig {
+            first_byte: None,
+            second_byte: None,
+            max_paths: 400_000,
+        }
     }
 }
 
@@ -109,7 +113,12 @@ pub fn explore_instruction_space(config: InsnSpaceConfig) -> InsnSpace {
     }
     let mut classes: Vec<ClassRep> = classes.into_values().collect();
     classes.sort_by_key(|c| c.class);
-    InsnSpace { candidates, invalid, classes, complete: result.complete }
+    InsnSpace {
+        candidates,
+        invalid,
+        classes,
+        complete: result.complete,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +151,15 @@ mod tests {
         });
         assert!(r.complete);
         // 8 sub-opcodes x {reg, mem} = 16 classes.
-        assert_eq!(r.classes.len(), 16, "classes: {:?}", r.classes.iter().map(|c| c.class.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            r.classes.len(),
+            16,
+            "classes: {:?}",
+            r.classes
+                .iter()
+                .map(|c| c.class.to_string())
+                .collect::<Vec<_>>()
+        );
         assert!(r.candidates > r.classes.len(), "many encodings per class");
     }
 

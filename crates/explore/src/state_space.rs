@@ -69,7 +69,11 @@ pub struct StateSpaceConfig {
 
 impl Default for StateSpaceConfig {
     fn default() -> Self {
-        StateSpaceConfig { max_paths: 8192, use_summaries: true, minimize: true }
+        StateSpaceConfig {
+            max_paths: 8192,
+            use_summaries: true,
+            minimize: true,
+        }
     }
 }
 
@@ -130,7 +134,9 @@ pub fn explore_state_space(
         // Extract the state difference as gadget items.
         let mut items = Vec::new();
         for (name, var) in exec.named_vars() {
-            let Some(val) = model.value(var) else { continue };
+            let Some(val) = model.value(var) else {
+                continue;
+            };
             let base = symstate::baseline_value_of(&name, baseline);
             if val != base {
                 if let Some(item) = symstate::state_item_of(&name, val) {
@@ -177,7 +183,11 @@ mod tests {
     use crate::baseline_snapshot;
 
     fn small_config() -> StateSpaceConfig {
-        StateSpaceConfig { max_paths: 512, use_summaries: true, minimize: true }
+        StateSpaceConfig {
+            max_paths: 512,
+            use_summaries: true,
+            minimize: true,
+        }
     }
 
     #[test]
@@ -190,7 +200,11 @@ mod tests {
         assert_eq!(space.paths[0].end, PathEnd::Retired);
         // The minimized test state should be (near) empty: nothing is
         // constrained.
-        assert!(space.paths[0].state.items.is_empty(), "{:?}", space.paths[0].state);
+        assert!(
+            space.paths[0].state.items.is_empty(),
+            "{:?}",
+            space.paths[0].state
+        );
     }
 
     #[test]
@@ -216,8 +230,14 @@ mod tests {
         let space = explore_state_space(&[0xf7, 0xf1], &baseline, small_config());
         assert!(space.complete);
         let ends: std::collections::HashSet<_> = space.paths.iter().map(|p| p.end).collect();
-        assert!(ends.contains(&PathEnd::Exception(0)), "divide error explored: {ends:?}");
-        assert!(ends.contains(&PathEnd::Retired), "success explored: {ends:?}");
+        assert!(
+            ends.contains(&PathEnd::Exception(0)),
+            "divide error explored: {ends:?}"
+        );
+        assert!(
+            ends.contains(&PathEnd::Retired),
+            "success explored: {ends:?}"
+        );
         // A divide-by-zero path exists; ECX is zero at baseline already, so
         // its minimized test state needs few items.
         let de = space

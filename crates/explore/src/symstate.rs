@@ -23,8 +23,8 @@
 use std::collections::HashMap;
 
 use pokemu_isa::snapshot::Snapshot;
-use pokemu_isa::state::{attrs, flags as fl, Gpr, Machine, Msrs, Seg, SegReg, TableReg, DescCache};
-use pokemu_isa::translate::{descriptor_checks_hooked, desc_kind};
+use pokemu_isa::state::{attrs, flags as fl, DescCache, Gpr, Machine, Msrs, Seg, SegReg, TableReg};
+use pokemu_isa::translate::{desc_kind, descriptor_checks_hooked};
 use pokemu_isa::{Memory, MissingPolicy};
 use pokemu_solver::{TermId, VarId};
 use pokemu_symx::{Dom, Executor};
@@ -67,7 +67,11 @@ pub fn symbolic_machine(
 
     // CR4: PAE must stay 0 (unsupported); PSE and friends symbolic.
     let cr4 = exec.fresh_input(32, "cr4");
-    let pae = exec.extract(cr4, pokemu_isa::state::cr4::PAE, pokemu_isa::state::cr4::PAE);
+    let pae = exec.extract(
+        cr4,
+        pokemu_isa::state::cr4::PAE,
+        pokemu_isa::state::cr4::PAE,
+    );
     let z1 = exec.ff();
     let ok = exec.eq(pae, z1);
     exec.assume(ok);
@@ -97,7 +101,11 @@ pub fn symbolic_machine(
     // (partially symbolic) descriptor bytes via the summarized check.
     let mut segs: [SegReg<TermId>; 6] = [SegReg {
         selector: exec.constant(16, 0),
-        cache: DescCache { base: zero32, limit: zero32, attrs: exec.constant(attrs::WIDTH, 0) },
+        cache: DescCache {
+            base: zero32,
+            limit: zero32,
+            attrs: exec.constant(attrs::WIDTH, 0),
+        },
     }; 6];
     // CS first: its DPL is the CPL input for the remaining loads. CPL is
     // pinned to ring 0: the baseline environment runs at ring 0 and the
@@ -110,14 +118,20 @@ pub fn symbolic_machine(
     let ok = exec.eq(rpl_cs, z2);
     exec.assume(ok);
     let cs_cache = load_cache(exec, &mut mem, Seg::Cs, sel_cs, None);
-    segs[Seg::Cs as usize] = SegReg { selector: sel_cs, cache: cs_cache };
+    segs[Seg::Cs as usize] = SegReg {
+        selector: sel_cs,
+        cache: cs_cache,
+    };
     let cpl = exec.extract(cs_cache.attrs, attrs::DPL_LO + 1, attrs::DPL_LO);
     let ok = exec.eq(cpl, z2);
     exec.assume(ok);
     for seg in [Seg::Es, Seg::Ss, Seg::Ds, Seg::Fs, Seg::Gs] {
         let sel = exec.fresh_input(16, &format!("sel_{}", seg.name()));
         let cache = load_cache(exec, &mut mem, seg, sel, Some(cpl));
-        segs[seg as usize] = SegReg { selector: sel, cache };
+        segs[seg as usize] = SegReg {
+            selector: sel,
+            cache,
+        };
     }
 
     Machine {
@@ -130,8 +144,14 @@ pub fn symbolic_machine(
         cr3_base: baseline.cr3 & 0xffff_f000,
         cr3_flags,
         cr4,
-        gdtr: TableReg { base: baseline.gdtr.0, limit: gdtr_limit },
-        idtr: TableReg { base: baseline.idtr.0, limit: idtr_limit },
+        gdtr: TableReg {
+            base: baseline.gdtr.0,
+            limit: gdtr_limit,
+        },
+        idtr: TableReg {
+            base: baseline.idtr.0,
+            limit: idtr_limit,
+        },
         msrs,
         mem,
     }
@@ -175,7 +195,11 @@ fn load_cache(
     let z1 = exec.ff();
     let ok = exec.eq(ti, z1);
     exec.assume(ok);
-    DescCache { base, limit, attrs: attrs_v }
+    DescCache {
+        base,
+        limit,
+        attrs: attrs_v,
+    }
 }
 
 /// Builds the memory template: the baseline image with the Figure-3
@@ -237,12 +261,18 @@ pub fn baseline_value_of(name: &str, baseline: &Snapshot) -> u64 {
         return *baseline.mem.get(&addr).unwrap_or(&0) as u64;
     }
     if let Some(seg) = name.strip_prefix("sel_") {
-        let s = Seg::ALL.into_iter().find(|s| s.name() == seg).expect("segment name");
+        let s = Seg::ALL
+            .into_iter()
+            .find(|s| s.name() == seg)
+            .expect("segment name");
         return baseline.segs[s as usize].selector as u64;
     }
     match name {
         "eax" | "ecx" | "edx" | "ebx" | "esp" | "ebp" | "esi" | "edi" => {
-            let r = Gpr::ALL.into_iter().find(|r| r.name() == name).expect("gpr");
+            let r = Gpr::ALL
+                .into_iter()
+                .find(|r| r.name() == name)
+                .expect("gpr");
             baseline.gpr[r as usize] as u64
         }
         "eflags" => baseline.eflags as u64,

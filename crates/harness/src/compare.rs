@@ -86,9 +86,9 @@ pub fn undefined_flags_of(class: &InstClass) -> u32 {
             _ => 0,
         },
         0xf6 | 0xf7 => match class.group_reg {
-            Some(0) | Some(1) => AF,            // test
+            Some(0) | Some(1) => AF,              // test
             Some(4) | Some(5) => ALL & !CF & !OF, // mul/imul: SF/ZF/AF/PF
-            Some(6) | Some(7) => ALL,           // div/idiv: everything
+            Some(6) | Some(7) => ALL,             // div/idiv: everything
             _ => 0,
         },
         0x69 | 0x6b | 0x0faf => ALL & !CF & !OF, // imul 2-op
@@ -100,9 +100,9 @@ pub fn undefined_flags_of(class: &InstClass) -> u32 {
         },
         0x0fa4 | 0x0fa5 | 0x0fac | 0x0fad => AF | OF, // shld/shrd
         0x0fa3 | 0x0fab | 0x0fb3 | 0x0fbb | 0x0fba => ALL & !CF, // bt family
-        0x0fbc | 0x0fbd => ALL & !(1 << fl::ZF), // bsf/bsr
-        0xd4 | 0xd5 => CF | AF | OF,             // aam/aad
-        0x27 | 0x2f => OF,                       // daa/das
+        0x0fbc | 0x0fbd => ALL & !(1 << fl::ZF),      // bsf/bsr
+        0xd4 | 0xd5 => CF | AF | OF,                  // aam/aad
+        0x27 | 0x2f => OF,                            // daa/das
         0x37 | 0x3f => OF | (1 << fl::SF) | (1 << fl::ZF) | (1 << fl::PF), // aaa/aas
         _ => 0,
     }
@@ -138,7 +138,8 @@ pub fn filter_undefined(a: &mut Snapshot, b: &mut Snapshot, class: Option<&InstC
         // subtle to reconstruct here; mask the likely destination instead:
         // any register where both sides wrote "a scan result or nothing".
         for i in 0..8 {
-            if a.gpr[i] != b.gpr[i] && (a.gpr[i] == 0 || b.gpr[i] == 0 || a.gpr[i] < 32 || b.gpr[i] < 32)
+            if a.gpr[i] != b.gpr[i]
+                && (a.gpr[i] == 0 || b.gpr[i] == 0 || a.gpr[i] < 32 || b.gpr[i] < 32)
             {
                 a.gpr[i] = 0;
                 b.gpr[i] = 0;
@@ -179,7 +180,9 @@ fn classify(
         }
     }
 
-    let is_msr = class.map(|c| matches!(c.opcode, 0x0f30 | 0x0f32)).unwrap_or(false);
+    let is_msr = class
+        .map(|c| matches!(c.opcode, 0x0f30 | 0x0f32))
+        .unwrap_or(false);
     if is_msr && outcome_differs {
         return RootCause::MsrValidation;
     }
@@ -208,23 +211,31 @@ fn classify(
 
     // Both faulted identically but registers differ: atomicity violation.
     if ref_exc && reference.outcome == target.outcome {
-        let reg_diff = components.iter().any(|c| {
-            c.starts_with("esp") || c.starts_with("ebp") || c.starts_with("eax")
-        });
+        let reg_diff = components
+            .iter()
+            .any(|c| c.starts_with("esp") || c.starts_with("ebp") || c.starts_with("eax"));
         if reg_diff && class.map(|c| is_rmw_multi(c)).unwrap_or(false) {
             return RootCause::AtomicityViolation;
         }
     }
 
-    // Only GDT accessed-bit bytes differ.
+    // Only GDT accessed-bit bytes differ. Tests can raise the GDT limit and
+    // load far-away selectors, so the window is the maximum addressable GDT
+    // (8192 entries), not just the baseline's 16; the differing byte must be
+    // a descriptor attribute byte (offset 5 of an 8-byte entry).
     let only_gdt_accessed = components.iter().all(|c| c.starts_with("mem[")) && {
         let gdt = pokemu_testgen::layout::GDT_BASE;
         reference
             .mem
             .iter()
             .filter(|(k, v)| target.mem.get(k) != Some(v))
-            .chain(target.mem.iter().filter(|(k, v)| reference.mem.get(k) != Some(v)))
-            .all(|(&k, _)| (gdt..gdt + 128).contains(&k) && k % 8 == 5)
+            .chain(
+                target
+                    .mem
+                    .iter()
+                    .filter(|(k, v)| reference.mem.get(k) != Some(v)),
+            )
+            .all(|(&k, _)| (gdt..gdt + 8192 * 8).contains(&k) && (k - gdt) % 8 == 5)
     };
     if only_gdt_accessed && !components.is_empty() {
         return RootCause::AccessedFlag;
@@ -266,12 +277,15 @@ fn is_multi_read(class: &InstClass) -> bool {
 /// Read-modify-write or multi-commit instructions where partial commits are
 /// observable on faults.
 fn is_rmw_multi(class: &InstClass) -> bool {
-    matches!(class.opcode, 0xc9 | 0x0fb0 | 0x0fb1 | 0x0fc0 | 0x0fc1 | 0x8f | 0x60 | 0x61)
+    matches!(
+        class.opcode,
+        0xc9 | 0x0fb0 | 0x0fb1 | 0x0fc0 | 0x0fc1 | 0x8f | 0x60 | 0x61
+    )
 }
 
 /// A cluster of differences sharing a root cause (paper §6.2: "we then
 /// clustered the differences according to root cause").
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Clusters {
     /// cause -> (count, example test names)
     clusters: BTreeMap<RootCause, (usize, Vec<String>)>,
@@ -294,7 +308,9 @@ impl Clusters {
 
     /// Iterates `(cause, count, examples)` sorted by cause.
     pub fn iter(&self) -> impl Iterator<Item = (&RootCause, usize, &[String])> {
-        self.clusters.iter().map(|(k, (n, ex))| (k, *n, ex.as_slice()))
+        self.clusters
+            .iter()
+            .map(|(k, (n, ex))| (k, *n, ex.as_slice()))
     }
 
     /// Total differences recorded.
@@ -324,13 +340,28 @@ mod tests {
 
     #[test]
     fn undefined_flag_masks() {
-        let mul = InstClass { opcode: 0xf7, group_reg: Some(4), mem_operand: Some(false), opsize16: false };
+        let mul = InstClass {
+            opcode: 0xf7,
+            group_reg: Some(4),
+            mem_operand: Some(false),
+            opsize16: false,
+        };
         let m = undefined_flags_of(&mul);
         assert_ne!(m & (1 << fl::AF), 0);
         assert_eq!(m & (1 << fl::CF), 0, "CF is defined for mul");
-        let div = InstClass { opcode: 0xf7, group_reg: Some(6), mem_operand: Some(false), opsize16: false };
+        let div = InstClass {
+            opcode: 0xf7,
+            group_reg: Some(6),
+            mem_operand: Some(false),
+            opsize16: false,
+        };
         assert_eq!(undefined_flags_of(&div), fl::STATUS);
-        let add = InstClass { opcode: 0x01, group_reg: None, mem_operand: Some(false), opsize16: false };
+        let add = InstClass {
+            opcode: 0x01,
+            group_reg: None,
+            mem_operand: Some(false),
+            opsize16: false,
+        };
         assert_eq!(undefined_flags_of(&add), 0);
     }
 

@@ -15,7 +15,7 @@ pub mod pipeline;
 pub mod random;
 pub mod targets;
 
-pub use compare::{compare, class_of, undefined_flags_of, Clusters, Difference, RootCause};
+pub use compare::{class_of, compare, undefined_flags_of, Clusters, Difference, RootCause};
 pub use pipeline::{
     generate_for_instruction, run_cross_validation, run_on_all_targets, CaseOutcome,
     CrossValidation, PipelineConfig,

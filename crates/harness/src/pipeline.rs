@@ -4,10 +4,14 @@
 //!
 //! Generation and execution are both embarrassingly parallel (the paper ran
 //! on 3×8-core EC2 instances, §6); [`run_cross_validation`] fans out over
-//! worker threads with `crossbeam` scoped threads.
+//! worker threads with [`pokemu_rt::for_each`] and reports a per-stage cost
+//! breakdown (the E6 experiment) in [`StageStats`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pokemu_rt::WorkerStats;
 
 use pokemu_explore::{
     explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
@@ -45,9 +49,37 @@ impl Default for PipelineConfig {
             max_instructions: usize::MAX,
             max_paths_per_insn: 8192,
             lofi_fidelity: Fidelity::QEMU_LIKE,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
+}
+
+/// Per-stage cost breakdown for one pipeline run (the E6 experiment):
+/// where the wall time went, how hard the solver worked, and what each
+/// worker thread did.
+#[derive(Debug, Default, Clone)]
+pub struct StageStats {
+    /// Wall time of instruction-set exploration (Fig. 1 step 1).
+    pub explore_insns: Duration,
+    /// Worker time summed over state-space exploration + test generation
+    /// (Fig. 1 steps 2–3).
+    pub generate: Duration,
+    /// Worker time summed over executing tests on all three targets
+    /// (Fig. 1 step 4).
+    pub execute: Duration,
+    /// Wall time of the sequential difference analysis (Fig. 1 step 5).
+    pub analyze: Duration,
+    /// Wall time of the parallel generate+execute section; less than
+    /// `generate + execute` when the run actually parallelized.
+    pub parallel_wall: Duration,
+    /// Total wall time of the pipeline run.
+    pub total_wall: Duration,
+    /// Solver queries issued during state-space exploration.
+    pub solver_queries: u64,
+    /// Per-worker item counts and busy time, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
 }
 
 /// Counters for the whole run (the §6 headline numbers).
@@ -75,6 +107,8 @@ pub struct CrossValidation {
     pub lofi_clusters: Clusters,
     /// Root-cause clusters for Hi-Fi differences.
     pub hifi_clusters: Clusters,
+    /// Per-stage cost breakdown (E6).
+    pub stages: StageStats,
 }
 
 /// The result of running one test on all three targets.
@@ -94,36 +128,52 @@ pub struct CaseOutcome {
 pub fn run_on_all_targets(prog: &TestProgram, lofi_fidelity: Fidelity) -> CaseOutcome {
     let hardware = HardwareTarget.run_program(prog);
     let hifi = HiFiTarget.run_program(prog);
-    let lofi = LofiTarget { fidelity: lofi_fidelity }.run_program(prog);
-    CaseOutcome { name: prog.name.clone(), hardware, hifi, lofi }
+    let lofi = LofiTarget {
+        fidelity: lofi_fidelity,
+    }
+    .run_program(prog);
+    CaseOutcome {
+        name: prog.name.clone(),
+        hardware,
+        hifi,
+        lofi,
+    }
 }
 
 /// Generates the test programs for one instruction representative.
+/// Returns the programs, whether exploration was exhaustive, and how many
+/// solver queries it cost.
 pub fn generate_for_instruction(
     name: &str,
     insn: &[u8],
     baseline: &Snapshot,
     max_paths: usize,
-) -> (Vec<TestProgram>, bool) {
+) -> (Vec<TestProgram>, bool, u64) {
     let space = explore_state_space(
         insn,
         baseline,
-        StateSpaceConfig { max_paths, ..StateSpaceConfig::default() },
+        StateSpaceConfig {
+            max_paths,
+            ..StateSpaceConfig::default()
+        },
     );
     let progs = pokemu_explore::to_test_programs(&space, name);
-    (progs, space.complete)
+    (progs, space.complete, space.solver_queries)
 }
 
 /// Runs the complete cross-validation pipeline.
 pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
+    let run_start = Instant::now();
     let baseline = baseline_snapshot();
 
     // Step 1: instruction-set exploration (Fig. 1 (1)).
+    let explore_start = Instant::now();
     let insn_space = explore_instruction_space(InsnSpaceConfig {
         first_byte: config.first_byte,
         second_byte: config.second_byte,
         ..InsnSpaceConfig::default()
     });
+    let explore_insns = explore_start.elapsed();
     let mut reps = insn_space.classes;
     reps.truncate(config.max_instructions);
 
@@ -133,33 +183,38 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
         ..CrossValidation::default()
     };
 
-    // Steps 2-5, parallel over instructions.
-    let next = AtomicUsize::new(0);
+    // Steps 2-4, parallel over instructions. Workers attribute their time
+    // to the generate (state-space exploration) and execute (run on all
+    // targets) stages via shared nanosecond counters.
     let results: Mutex<Vec<(String, bool, usize, Vec<(String, Vec<u8>, CaseOutcome)>)>> =
         Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(rep) = reps.get(i) else { break };
-                let name = rep.class.to_string();
-                let (progs, complete) = generate_for_instruction(
-                    &name,
-                    &rep.bytes,
-                    &baseline,
-                    config.max_paths_per_insn,
-                );
-                let mut cases = Vec::with_capacity(progs.len());
-                for p in &progs {
-                    let case = run_on_all_targets(p, config.lofi_fidelity);
-                    cases.push((p.name.clone(), p.test_insn.clone(), case));
-                }
-                results.lock().expect("no poisoning").push((name, complete, progs.len(), cases));
-            });
+    let generate_ns = AtomicU64::new(0);
+    let execute_ns = AtomicU64::new(0);
+    let solver_queries = AtomicU64::new(0);
+    let pool = pokemu_rt::for_each(config.threads, reps.len(), |i| {
+        let rep = &reps[i];
+        let name = rep.class.to_string();
+        let gen_start = Instant::now();
+        let (progs, complete, queries) =
+            generate_for_instruction(&name, &rep.bytes, &baseline, config.max_paths_per_insn);
+        generate_ns.fetch_add(gen_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        solver_queries.fetch_add(queries, Ordering::Relaxed);
+        let exec_start = Instant::now();
+        let mut cases = Vec::with_capacity(progs.len());
+        for p in &progs {
+            let case = run_on_all_targets(p, config.lofi_fidelity);
+            cases.push((p.name.clone(), p.test_insn.clone(), case));
         }
-    })
-    .expect("worker threads join");
+        execute_ns.fetch_add(exec_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        results
+            .lock()
+            .expect("no poisoning")
+            .push((name, complete, progs.len(), cases));
+    });
 
+    // Step 5: sequential difference analysis, in name order so counters and
+    // clusters are deterministic regardless of worker scheduling.
+    let analyze_start = Instant::now();
     let mut results = results.into_inner().expect("no poisoning");
     results.sort_by(|a, b| a.0.cmp(&b.0));
     for (_name, complete, n_paths, cases) in results {
@@ -184,5 +239,15 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             }
         }
     }
+    out.stages = StageStats {
+        explore_insns,
+        generate: Duration::from_nanos(generate_ns.into_inner()),
+        execute: Duration::from_nanos(execute_ns.into_inner()),
+        analyze: analyze_start.elapsed(),
+        parallel_wall: pool.wall,
+        total_wall: run_start.elapsed(),
+        solver_queries: solver_queries.into_inner(),
+        workers: pool.workers,
+    };
     out
 }

@@ -7,8 +7,7 @@
 //! straddles a fault boundary" have vanishing probability under uniform
 //! sampling (§6.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pokemu_rt::Rng;
 
 use pokemu_lofi::Fidelity;
 use pokemu_testgen::{layout, StateItem, TestProgram, TestState};
@@ -29,7 +28,11 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        RandomConfig { tests: 1000, seed: 0xDEC0DE, lofi_fidelity: Fidelity::QEMU_LIKE }
+        RandomConfig {
+            tests: 1000,
+            seed: 0xDEC0DE,
+            lofi_fidelity: Fidelity::QEMU_LIKE,
+        }
     }
 }
 
@@ -47,7 +50,7 @@ pub struct RandomRun {
 /// Generates one random test: random instruction bytes plus random
 /// perturbations of registers, flags, and a few memory bytes — the
 /// state-of-the-art the paper compares against.
-pub fn random_test(rng: &mut StdRng, idx: usize) -> TestProgram {
+pub fn random_test(rng: &mut Rng, idx: usize) -> TestProgram {
     // Random instruction: up to 15 random bytes.
     let len = rng.gen_range(1..=15usize);
     let insn: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
@@ -63,10 +66,10 @@ pub fn random_test(rng: &mut StdRng, idx: usize) -> TestProgram {
         items.push(StateItem::Eflags(rng.gen::<u32>() & 0x0000_0ed5 | 0x2));
     }
     // A few random bytes in interesting regions (GDT, page table, data).
-    for _ in 0..rng.gen_range(0..4) {
-        let region = rng.gen_range(0..3);
+    for _ in 0..rng.gen_range(0..4u32) {
+        let region = rng.gen_range(0..3u32);
         let addr = match region {
-            0 => layout::GDT_BASE + rng.gen_range(8..128),
+            0 => layout::GDT_BASE + rng.gen_range(8..128u32),
             1 => layout::PT_BASE + rng.gen_range(0u32..4096) / 4 * 4,
             _ => 0x0030_0000 + rng.gen_range(0u32..0x1000),
         };
@@ -78,7 +81,7 @@ pub fn random_test(rng: &mut StdRng, idx: usize) -> TestProgram {
 
 /// Runs the random-testing baseline.
 pub fn run_random_baseline(config: RandomConfig) -> RandomRun {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut out = RandomRun::default();
     for i in 0..config.tests {
         let prog = random_test(&mut rng, i);
@@ -98,7 +101,7 @@ mod tests {
 
     #[test]
     fn random_tests_build_and_run() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for i in 0..5 {
             let prog = random_test(&mut rng, i);
             let case = run_on_all_targets(&prog, Fidelity::QEMU_LIKE);

@@ -34,7 +34,9 @@ pub struct LofiTarget {
 
 impl Default for LofiTarget {
     fn default() -> Self {
-        LofiTarget { fidelity: Fidelity::QEMU_LIKE }
+        LofiTarget {
+            fidelity: Fidelity::QEMU_LIKE,
+        }
     }
 }
 
@@ -113,10 +115,7 @@ impl Target for HardwareTarget {
 }
 
 /// Applies the boot-loader state to a reference-interpreter machine.
-pub fn apply_boot(
-    d: &mut pokemu_symx::Concrete,
-    m: &mut pokemu_isa::Machine<pokemu_symx::CVal>,
-) {
+pub fn apply_boot(d: &mut pokemu_symx::Concrete, m: &mut pokemu_isa::Machine<pokemu_symx::CVal>) {
     let boot = boot_state();
     m.cr0 = d.constant(32, boot.cr0 as u64);
     m.eip = boot.eip;

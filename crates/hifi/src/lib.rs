@@ -45,9 +45,10 @@ impl RunExit {
     pub fn outcome(self) -> Outcome {
         match self {
             RunExit::Halted => Outcome::Halted,
-            RunExit::Exception(e) => {
-                Outcome::Exception { vector: e.vector(), error: e.error_code() }
-            }
+            RunExit::Exception(e) => Outcome::Exception {
+                vector: e.vector(),
+                error: e.error_code(),
+            },
             RunExit::StepLimit => Outcome::Timeout,
         }
     }
@@ -86,7 +87,12 @@ impl HiFi {
     pub fn new() -> Self {
         let mut dom = Concrete::new();
         let machine = Machine::zeroed(&mut dom);
-        HiFi { dom, machine, quirks: Quirks::HIFI, steps_executed: 0 }
+        HiFi {
+            dom,
+            machine,
+            quirks: Quirks::HIFI,
+            steps_executed: 0,
+        }
     }
 
     /// Overrides the quirk profile (tests use this to make the Hi-Fi

@@ -44,9 +44,10 @@ impl TrapReason {
     pub fn outcome(self) -> Outcome {
         match self {
             TrapReason::Halt => Outcome::Halted,
-            TrapReason::Exception(e) => {
-                Outcome::Exception { vector: e.vector(), error: e.error_code() }
-            }
+            TrapReason::Exception(e) => Outcome::Exception {
+                vector: e.vector(),
+                error: e.error_code(),
+            },
             TrapReason::StepLimit => Outcome::Timeout,
         }
     }
@@ -85,7 +86,11 @@ impl Vmm {
     pub fn new() -> Self {
         let mut dom = Concrete::new();
         let guest = Machine::zeroed(&mut dom);
-        Vmm { dom, guest, stats: MediationStats::default() }
+        Vmm {
+            dom,
+            guest,
+            stats: MediationStats::default(),
+        }
     }
 
     /// The guest machine state (the VMM has complete visibility, §5.2).
@@ -138,13 +143,15 @@ impl Vmm {
         });
         match decoded {
             Err(_) => false,
-            Ok(inst) => matches!(
-                inst.class.opcode,
-                0x0f22          // mov crN, r32
+            Ok(inst) => {
+                matches!(
+                    inst.class.opcode,
+                    0x0f22          // mov crN, r32
                 | 0x0f30 | 0x0f32 // wrmsr / rdmsr
-                | 0xf4          // hlt
-            ) || (inst.class.opcode == 0x0f01
-                && matches!(inst.class.group_reg, Some(2) | Some(3) | Some(6) | Some(7))),
+                | 0xf4 // hlt
+                ) || (inst.class.opcode == 0x0f01
+                    && matches!(inst.class.group_reg, Some(2) | Some(3) | Some(6) | Some(7)))
+            }
         }
     }
 
@@ -191,10 +198,8 @@ mod tests {
         let d = &mut vmm.dom;
         vmm.guest.cr0 = d.constant(32, 1 << cr0::PE);
         let a: u64 = 0xb | (1 << attrs::S as u64) | (1 << attrs::P as u64);
-        vmm.guest.segs[pokemu_isa::Seg::Cs as usize].cache.attrs =
-            d.constant(attrs::WIDTH, a);
-        vmm.guest.segs[pokemu_isa::Seg::Cs as usize].cache.limit =
-            d.constant(32, 0xffff_ffff);
+        vmm.guest.segs[pokemu_isa::Seg::Cs as usize].cache.attrs = d.constant(attrs::WIDTH, a);
+        vmm.guest.segs[pokemu_isa::Seg::Cs as usize].cache.limit = d.constant(32, 0xffff_ffff);
         vmm.guest.segs[pokemu_isa::Seg::Cs as usize].cache.base = d.constant(32, 0);
         // mov eax, 1; mov ebx, 2; hlt
         vmm.load_image(0, &[0xb8, 1, 0, 0, 0, 0xbb, 2, 0, 0, 0, 0xf4]);

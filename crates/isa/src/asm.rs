@@ -109,7 +109,8 @@ impl Asm {
 
     /// `mov sreg, ax` (Fig. 5 line 5).
     pub fn mov_sreg_ax(&mut self, seg: Seg) -> &mut Self {
-        self.out.extend_from_slice(&[0x8e, 0xc0 | ((seg as u8) << 3)]);
+        self.out
+            .extend_from_slice(&[0x8e, 0xc0 | ((seg as u8) << 3)]);
         self
     }
 

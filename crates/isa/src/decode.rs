@@ -65,7 +65,13 @@ pub struct OpInfo {
 
 impl OpInfo {
     const fn new(form: Form) -> OpInfo {
-        OpInfo { form, byteop: false, group: false, group_valid: 0xff, mem_only: false }
+        OpInfo {
+            form,
+            byteop: false,
+            group: false,
+            group_valid: 0xff,
+            mem_only: false,
+        }
     }
     const fn byte(mut self) -> OpInfo {
         self.byteop = true;
@@ -136,9 +142,9 @@ pub fn op_info(opcode: u16) -> Option<OpInfo> {
         0xa4..=0xa7 => i(Bare), // movs/cmps
         0xa8 => i(I8).byte(),   // test al, imm8
         0xa9 => i(Iz),
-        0xaa..=0xaf => i(Bare),       // stos/lods/scas
-        0xb0..=0xb7 => i(I8).byte(),  // mov r8, imm8
-        0xb8..=0xbf => i(Iz),         // mov r, immz
+        0xaa..=0xaf => i(Bare),          // stos/lods/scas
+        0xb0..=0xb7 => i(I8).byte(),     // mov r8, imm8
+        0xb8..=0xbf => i(Iz),            // mov r, immz
         0xc0 => i(Mi8).byte().grp(0xff), // shift group
         0xc1 => i(Mi8).grp(0xff),
         0xc2 => i(I16), // ret imm16
@@ -158,9 +164,9 @@ pub fn op_info(opcode: u16) -> Option<OpInfo> {
         0xd1 => i(M).grp(0xff),
         0xd2 => i(M).byte().grp(0xff),
         0xd3 => i(M).grp(0xff),
-        0xd4 | 0xd5 => i(I8), // aam/aad
-        0xd6 => i(Bare),      // salc (undocumented but implemented by CPUs)
-        0xd7 => i(Bare),      // xlat
+        0xd4 | 0xd5 => i(I8),   // aam/aad
+        0xd6 => i(Bare),        // salc (undocumented but implemented by CPUs)
+        0xd7 => i(Bare),        // xlat
         0xe0..=0xe3 => i(Rel8), // loopne/loope/loop/jecxz
         0xe8 => i(RelZ),        // call rel
         0xe9 => i(RelZ),        // jmp rel
@@ -171,43 +177,43 @@ pub fn op_info(opcode: u16) -> Option<OpInfo> {
         0xf5 => i(Bare), // cmc
         0xf6 => i(GroupF6).byte().grp(0xff),
         0xf7 => i(GroupF6).grp(0xff),
-        0xf8..=0xfd => i(Bare),       // clc/stc/cli/sti/cld/std
+        0xf8..=0xfd => i(Bare),        // clc/stc/cli/sti/cld/std
         0xfe => i(M).byte().grp(0x03), // inc/dec r/m8
         0xff => i(M).grp(0x7f),        // inc/dec/call/callf/jmp/jmpf/push
         // ---- two-byte opcodes ----
-        0x0f00 => i(M).grp(0x3f),                // sldt/str/lldt/ltr/verr/verw
-        0x0f01 => i(M).grp(0xdf),                // sgdt/sidt/lgdt/lidt/smsw/lmsw/invlpg
-        0x0f02 | 0x0f03 => i(M),                 // lar/lsl
-        0x0f06 => i(Bare),                       // clts
-        0x0f08 | 0x0f09 => i(Bare),              // invd/wbinvd
-        0x0f20 | 0x0f22 => i(MovCr),             // mov r32<->cr
-        0x0f30 | 0x0f31 | 0x0f32 => i(Bare),     // wrmsr/rdtsc/rdmsr
-        0x0f40..=0x0f4f => i(M),                 // cmovcc
-        0x0f80..=0x0f8f => i(RelZ),              // jcc rel32
-        0x0f90..=0x0f9f => i(M).byte().grp(0x01),// setcc (reg must be 0)
-        0x0fa0 | 0x0fa1 => i(Bare),              // push/pop fs
-        0x0fa2 => i(Bare),                       // cpuid
-        0x0fa3 => i(M),                          // bt
-        0x0fa4 => i(Mi8),                        // shld imm8
-        0x0fa5 => i(M),                          // shld cl
-        0x0fa8 | 0x0fa9 => i(Bare),              // push/pop gs
-        0x0fab => i(M),                          // bts
-        0x0fac => i(Mi8),                        // shrd imm8
-        0x0fad => i(M),                          // shrd cl
-        0x0faf => i(M),                          // imul r, r/m
-        0x0fb0 => i(M).byte(),                   // cmpxchg r/m8
-        0x0fb1 => i(M),                          // cmpxchg
-        0x0fb2 => i(M).memonly(),                // lss
-        0x0fb3 => i(M),                          // btr
-        0x0fb4 | 0x0fb5 => i(M).memonly(),       // lfs/lgs
-        0x0fb6 | 0x0fb7 => i(M),                 // movzx
-        0x0fba => i(Mi8).grp(0xf0),              // bt group (reg 4..7)
-        0x0fbb => i(M),                          // btc
-        0x0fbc | 0x0fbd => i(M),                 // bsf/bsr
-        0x0fbe | 0x0fbf => i(M),                 // movsx
-        0x0fc0 => i(M).byte(),                   // xadd r/m8
-        0x0fc1 => i(M),                          // xadd
-        0x0fc8..=0x0fcf => i(Bare),              // bswap
+        0x0f00 => i(M).grp(0x3f),            // sldt/str/lldt/ltr/verr/verw
+        0x0f01 => i(M).grp(0xdf),            // sgdt/sidt/lgdt/lidt/smsw/lmsw/invlpg
+        0x0f02 | 0x0f03 => i(M),             // lar/lsl
+        0x0f06 => i(Bare),                   // clts
+        0x0f08 | 0x0f09 => i(Bare),          // invd/wbinvd
+        0x0f20 | 0x0f22 => i(MovCr),         // mov r32<->cr
+        0x0f30 | 0x0f31 | 0x0f32 => i(Bare), // wrmsr/rdtsc/rdmsr
+        0x0f40..=0x0f4f => i(M),             // cmovcc
+        0x0f80..=0x0f8f => i(RelZ),          // jcc rel32
+        0x0f90..=0x0f9f => i(M).byte().grp(0x01), // setcc (reg must be 0)
+        0x0fa0 | 0x0fa1 => i(Bare),          // push/pop fs
+        0x0fa2 => i(Bare),                   // cpuid
+        0x0fa3 => i(M),                      // bt
+        0x0fa4 => i(Mi8),                    // shld imm8
+        0x0fa5 => i(M),                      // shld cl
+        0x0fa8 | 0x0fa9 => i(Bare),          // push/pop gs
+        0x0fab => i(M),                      // bts
+        0x0fac => i(Mi8),                    // shrd imm8
+        0x0fad => i(M),                      // shrd cl
+        0x0faf => i(M),                      // imul r, r/m
+        0x0fb0 => i(M).byte(),               // cmpxchg r/m8
+        0x0fb1 => i(M),                      // cmpxchg
+        0x0fb2 => i(M).memonly(),            // lss
+        0x0fb3 => i(M),                      // btr
+        0x0fb4 | 0x0fb5 => i(M).memonly(),   // lfs/lgs
+        0x0fb6 | 0x0fb7 => i(M),             // movzx
+        0x0fba => i(Mi8).grp(0xf0),          // bt group (reg 4..7)
+        0x0fbb => i(M),                      // btc
+        0x0fbc | 0x0fbd => i(M),             // bsf/bsr
+        0x0fbe | 0x0fbf => i(M),             // movsx
+        0x0fc0 => i(M).byte(),               // xadd r/m8
+        0x0fc1 => i(M),                      // xadd
+        0x0fc8..=0x0fcf => i(Bare),          // bswap
         _ => return None,
     })
 }
@@ -362,7 +368,10 @@ where
     }
 
     let (group_reg, mem_operand) = match &modrm {
-        Some(m) => (if info.group { Some(m.reg) } else { None }, Some(m.mem.is_some())),
+        Some(m) => (
+            if info.group { Some(m.reg) } else { None },
+            Some(m.mem.is_some()),
+        ),
         None => (None, None),
     };
 
@@ -464,7 +473,12 @@ where
         Some(Gpr::Ebp) | Some(Gpr::Esp) => Seg::Ss,
         _ => Seg::Ds,
     };
-    Ok(MemOperand { seg: seg_override.unwrap_or(default_seg), base, index, disp })
+    Ok(MemOperand {
+        seg: seg_override.unwrap_or(default_seg),
+        base,
+        index,
+        disp,
+    })
 }
 
 #[cfg(test)]
@@ -606,7 +620,10 @@ mod tests {
 
     #[test]
     fn too_many_prefixes_fault() {
-        assert_eq!(decode_bytes(&[0x26, 0x26, 0x26, 0x26, 0x26, 0x90]).err(), Some(Exception::Ud));
+        assert_eq!(
+            decode_bytes(&[0x26, 0x26, 0x26, 0x26, 0x26, 0x90]).err(),
+            Some(Exception::Ud)
+        );
     }
 
     #[test]

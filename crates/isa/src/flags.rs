@@ -76,7 +76,13 @@ fn common<D: Dom>(d: &mut D, r: D::V) -> (D::V, D::V, D::V) {
 }
 
 /// Flags for `r = a + b (+ carry_in)`.
-pub fn add_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, carry_in: Option<D::V>, r: D::V) -> FlagSet<D::V> {
+pub fn add_flags<D: Dom>(
+    d: &mut D,
+    a: D::V,
+    b: D::V,
+    carry_in: Option<D::V>,
+    r: D::V,
+) -> FlagSet<D::V> {
     let w = d.width(a);
     // Carry: compute in w+1 bits.
     let aw = d.zext(a, w + 1);
@@ -97,11 +103,24 @@ pub fn add_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, carry_in: Option<D::V>, r:
     let t = d.xor(t, r);
     let af = d.extract(t, 4, 4);
     let (pf, zf, sf) = common(d, r);
-    FlagSet { cf, pf, af, zf, sf, of }
+    FlagSet {
+        cf,
+        pf,
+        af,
+        zf,
+        sf,
+        of,
+    }
 }
 
 /// Flags for `r = a - b (- borrow_in)`.
-pub fn sub_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, borrow_in: Option<D::V>, r: D::V) -> FlagSet<D::V> {
+pub fn sub_flags<D: Dom>(
+    d: &mut D,
+    a: D::V,
+    b: D::V,
+    borrow_in: Option<D::V>,
+    r: D::V,
+) -> FlagSet<D::V> {
     let w = d.width(a);
     let aw = d.zext(a, w + 1);
     let bw = d.zext(b, w + 1);
@@ -119,7 +138,14 @@ pub fn sub_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, borrow_in: Option<D::V>, r
     let t = d.xor(t, r);
     let af = d.extract(t, 4, 4);
     let (pf, zf, sf) = common(d, r);
-    FlagSet { cf, pf, af, zf, sf, of }
+    FlagSet {
+        cf,
+        pf,
+        af,
+        zf,
+        sf,
+        of,
+    }
 }
 
 /// Flags for logical operations (`and`/`or`/`xor`/`test`): CF = OF = 0,
@@ -127,7 +153,14 @@ pub fn sub_flags<D: Dom>(d: &mut D, a: D::V, b: D::V, borrow_in: Option<D::V>, r
 pub fn logic_flags<D: Dom>(d: &mut D, r: D::V) -> FlagSet<D::V> {
     let zero1 = d.ff();
     let (pf, zf, sf) = common(d, r);
-    FlagSet { cf: zero1, pf, af: zero1, zf, sf, of: zero1 }
+    FlagSet {
+        cf: zero1,
+        pf,
+        af: zero1,
+        zf,
+        sf,
+        of: zero1,
+    }
 }
 
 /// Inserts the width-1 value `bit` at position `pos` of the 32-bit `word`.
@@ -159,8 +192,14 @@ pub fn apply_flags<D: Dom>(
     policy: UndefPolicy,
 ) -> D::V {
     let mut out = eflags;
-    let pairs: [(u8, D::V); 6] =
-        [(CF, set.cf), (PF, set.pf), (AF, set.af), (ZF, set.zf), (SF, set.sf), (OF, set.of)];
+    let pairs: [(u8, D::V); 6] = [
+        (CF, set.cf),
+        (PF, set.pf),
+        (AF, set.af),
+        (ZF, set.zf),
+        (SF, set.sf),
+        (OF, set.of),
+    ];
     for (pos, val) in pairs {
         let bit = 1u32 << pos;
         if defined & bit != 0 {
@@ -187,16 +226,16 @@ pub fn condition<D: Dom>(d: &mut D, eflags: D::V, cc: u8) -> D::V {
     let of = get_bit(d, eflags, OF);
     let pf = get_bit(d, eflags, PF);
     let base = match cc >> 1 {
-        0 => of,                                 // O
-        1 => cf,                                 // B
-        2 => zf,                                 // E
-        3 => d.or(cf, zf),                       // BE
-        4 => sf,                                 // S
-        5 => pf,                                 // P
-        6 => d.xor(sf, of),                      // L
+        0 => of,            // O
+        1 => cf,            // B
+        2 => zf,            // E
+        3 => d.or(cf, zf),  // BE
+        4 => sf,            // S
+        5 => pf,            // P
+        6 => d.xor(sf, of), // L
         _ => {
             let l = d.xor(sf, of);
-            d.or(zf, l)                          // LE
+            d.or(zf, l) // LE
         }
     };
     if cc & 1 == 1 {
@@ -267,7 +306,7 @@ mod tests {
         let fl = d.constant(32, 1 << ZF as u64);
         assert_eq!(condition(&mut d, fl, 0x4).v, 1); // JE
         assert_eq!(condition(&mut d, fl, 0x5).v, 0); // JNE
-        // SF=1, OF=0 -> less
+                                                     // SF=1, OF=0 -> less
         let fl = d.constant(32, 1 << SF as u64);
         assert_eq!(condition(&mut d, fl, 0xc).v, 1); // JL
         assert_eq!(condition(&mut d, fl, 0xd).v, 0); // JGE
@@ -278,7 +317,14 @@ mod tests {
         let mut d = Concrete::new();
         let ef = d.constant(32, STATUS as u64); // all status set
         let z = d.ff();
-        let set = FlagSet { cf: z, pf: z, af: z, zf: z, sf: z, of: z };
+        let set = FlagSet {
+            cf: z,
+            pf: z,
+            af: z,
+            zf: z,
+            sf: z,
+            of: z,
+        };
         // AF undefined: HwModel writes set.af (0), Clear writes 0, Unchanged keeps 1.
         let hw = apply_flags(&mut d, ef, &set, 0, 1 << AF as u32, UndefPolicy::HwModel);
         let cl = apply_flags(&mut d, ef, &set, 0, 1 << AF as u32, UndefPolicy::Clear);

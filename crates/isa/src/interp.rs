@@ -389,8 +389,14 @@ pub(crate) fn execute<D: Dom>(
     let op = inst.class.opcode;
     match op {
         // ALU families.
-        0x00..=0x05 | 0x08..=0x0d | 0x10..=0x15 | 0x18..=0x1d | 0x20..=0x25 | 0x28..=0x2d
-        | 0x30..=0x35 | 0x38..=0x3d => exec_arith::alu_family(&mut x, inst),
+        0x00..=0x05
+        | 0x08..=0x0d
+        | 0x10..=0x15
+        | 0x18..=0x1d
+        | 0x20..=0x25
+        | 0x28..=0x2d
+        | 0x30..=0x35
+        | 0x38..=0x3d => exec_arith::alu_family(&mut x, inst),
         0x80 | 0x81 | 0x82 | 0x83 => exec_arith::alu_group(&mut x, inst),
         0x84 | 0x85 | 0xa8 | 0xa9 => exec_arith::test_ops(&mut x, inst),
         0xf6 | 0xf7 => exec_arith::group_f6(&mut x, inst),
@@ -412,7 +418,9 @@ pub(crate) fn execute<D: Dom>(
         0x0f40..=0x0f4f => exec_arith::cmovcc(&mut x, inst),
 
         // Data movement.
-        0x88..=0x8b | 0xa0..=0xa3 | 0xb0..=0xbf | 0xc6 | 0xc7 => exec_data::mov_family(&mut x, inst),
+        0x88..=0x8b | 0xa0..=0xa3 | 0xb0..=0xbf | 0xc6 | 0xc7 => {
+            exec_data::mov_family(&mut x, inst)
+        }
         0x8c | 0x8e => exec_data::mov_sreg(&mut x, inst),
         0x8d => exec_data::lea(&mut x, inst),
         0x86 | 0x87 | 0x90..=0x97 => exec_data::xchg(&mut x, inst),

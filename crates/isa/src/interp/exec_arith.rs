@@ -18,8 +18,7 @@ const F_OF: u32 = 1 << OF;
 const F_ALL: u32 = F_CF | F_PF | F_AF | F_ZF | F_SF | F_OF;
 
 fn apply<D: Dom>(x: &mut Exec<'_, D>, set: &FlagSet<D::V>, defined: u32, undefined: u32) {
-    x.m.eflags =
-        flags::apply_flags(x.d, x.m.eflags, set, defined, undefined, x.q.undef_policy);
+    x.m.eflags = flags::apply_flags(x.d, x.m.eflags, set, defined, undefined, x.q.undef_policy);
 }
 
 /// Computes one ALU family operation. Returns the result (to write back
@@ -129,7 +128,11 @@ pub(super) fn alu_family<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> Exec
 /// Opcodes `80/81/82/83`: ALU group with immediate.
 pub(super) fn alu_group<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
     let op = inst.class.group_reg.expect("group");
-    let size = if matches!(inst.class.opcode, 0x80 | 0x82) { 1 } else { inst.opsize() };
+    let size = if matches!(inst.class.opcode, 0x80 | 0x82) {
+        1
+    } else {
+        inst.opsize()
+    };
     let a = x.read_rm(inst, size)?;
     let imm = inst.imm.expect("imm");
     let b = if inst.class.opcode == 0x83 {
@@ -147,7 +150,11 @@ pub(super) fn alu_group<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecR
 
 /// `test` in its four encodings (84/85/A8/A9).
 pub(super) fn test_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
-    let size = if matches!(inst.class.opcode, 0x84 | 0xa8) { 1 } else { inst.opsize() };
+    let size = if matches!(inst.class.opcode, 0x84 | 0xa8) {
+        1
+    } else {
+        inst.opsize()
+    };
     let (a, b) = match inst.class.opcode {
         0x84 | 0x85 => {
             let mr = inst.modrm.as_ref().expect("modrm");
@@ -163,7 +170,11 @@ pub(super) fn test_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRe
 
 /// Group `F6`/`F7`: test/not/neg/mul/imul/div/idiv.
 pub(super) fn group_f6<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
-    let size = if inst.class.opcode == 0xf6 { 1 } else { inst.opsize() };
+    let size = if inst.class.opcode == 0xf6 {
+        1
+    } else {
+        inst.opsize()
+    };
     let w = size * 8;
     let g = inst.class.group_reg.expect("group");
     match g {
@@ -234,7 +245,14 @@ fn mul_imul<D: Dom>(
     let pf = flags::parity(x.d, lo);
     let zf = flags::zero(x.d, lo);
     let sf = flags::sign(x.d, lo);
-    let f = FlagSet { cf: over, pf, af: x.d.ff(), zf, sf, of: over };
+    let f = FlagSet {
+        cf: over,
+        pf,
+        af: x.d.ff(),
+        zf,
+        sf,
+        of: over,
+    };
     apply(x, &f, F_CF | F_OF, F_PF | F_AF | F_ZF | F_SF);
     Ok(())
 }
@@ -309,7 +327,14 @@ fn div_idiv<D: Dom>(
     }
     // All six status flags are undefined after division.
     let z = x.d.ff();
-    let f = FlagSet { cf: z, pf: z, af: z, zf: z, sf: z, of: z };
+    let f = FlagSet {
+        cf: z,
+        pf: z,
+        af: z,
+        zf: z,
+        sf: z,
+        of: z,
+    };
     apply(x, &f, 0, F_ALL);
     Ok(())
 }
@@ -320,7 +345,11 @@ pub(super) fn group_fe_ff<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> Exe
     let g = inst.class.group_reg.expect("group");
     match g {
         0 | 1 => {
-            let size = if inst.class.opcode == 0xfe { 1 } else { inst.opsize() };
+            let size = if inst.class.opcode == 0xfe {
+                1
+            } else {
+                inst.opsize()
+            };
             let a = x.read_rm(inst, size)?;
             let one = x.d.constant(size * 8, 1);
             let (r, f) = if g == 0 {
@@ -368,7 +397,11 @@ pub(super) fn inc_dec_reg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> Exe
 /// Shift/rotate group (`C0`/`C1`/`D0`..`D3`).
 pub(super) fn shift_group<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
     let op = inst.class.opcode;
-    let size = if matches!(op, 0xc0 | 0xd0 | 0xd2) { 1 } else { inst.opsize() };
+    let size = if matches!(op, 0xc0 | 0xd0 | 0xd2) {
+        1
+    } else {
+        inst.opsize()
+    };
     let w = size * 8;
     let g = inst.class.group_reg.expect("group");
 
@@ -486,13 +519,28 @@ pub(super) fn shift_group<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> Exe
     let pf = flags::parity(x.d, res);
     let zf = flags::zero(x.d, res);
     let sf = flags::sign(x.d, res);
-    let f = FlagSet { cf, pf, af: x.d.ff(), zf, sf, of: of_when_one };
+    let f = FlagSet {
+        cf,
+        pf,
+        af: x.d.ff(),
+        zf,
+        sf,
+        of: of_when_one,
+    };
     if x.d.branch(is_one, "shift count is one") {
-        let defined = if is_rotate { F_CF | F_OF } else { F_CF | F_PF | F_ZF | F_SF | F_OF };
+        let defined = if is_rotate {
+            F_CF | F_OF
+        } else {
+            F_CF | F_PF | F_ZF | F_SF | F_OF
+        };
         let undefined = if is_rotate { 0 } else { F_AF };
         apply(x, &f, defined, undefined);
     } else {
-        let defined = if is_rotate { F_CF } else { F_CF | F_PF | F_ZF | F_SF };
+        let defined = if is_rotate {
+            F_CF
+        } else {
+            F_CF | F_PF | F_ZF | F_SF
+        };
         let undefined = if is_rotate { F_OF } else { F_AF | F_OF };
         apply(x, &f, defined, undefined);
     }
@@ -524,7 +572,14 @@ pub(super) fn imul_2op<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRe
     let pf = flags::parity(x.d, lo);
     let zf = flags::zero(x.d, lo);
     let sf = flags::sign(x.d, lo);
-    let f = FlagSet { cf: over, pf, af: x.d.ff(), zf, sf, of: over };
+    let f = FlagSet {
+        cf: over,
+        pf,
+        af: x.d.ff(),
+        zf,
+        sf,
+        of: over,
+    };
     apply(x, &f, F_CF | F_OF, F_PF | F_AF | F_ZF | F_SF);
     Ok(Flow::Next)
 }
@@ -576,7 +631,14 @@ pub(super) fn shld_shrd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecR
     let of = x.d.xor(msb_r, msb_d);
     let pf = flags::parity(x.d, res);
     let zf = flags::zero(x.d, res);
-    let f = FlagSet { cf, pf, af: x.d.ff(), zf, sf: msb_r, of };
+    let f = FlagSet {
+        cf,
+        pf,
+        af: x.d.ff(),
+        zf,
+        sf: msb_r,
+        of,
+    };
     let is_one = {
         let o = x.d.constant(8, 1);
         x.d.eq(count8, o)
@@ -610,46 +672,48 @@ pub(super) fn bit_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRes
     let wm1 = x.d.constant(w, (w - 1) as u64);
     let bit_in_word = x.d.and(bitoff_full, wm1);
 
-    let (val, write_back): (D::V, Box<dyn FnOnce(&mut Exec<'_, D>, D::V) -> Result<(), Exception>>) =
-        match (&mr.mem, offset_is_reg) {
-            (Some(mem), true) => {
-                // Bit-string addressing: the word index extends the EA,
-                // sign-extended (negative offsets reach below the base).
-                let ea = x.effective_address(mem);
-                let shift = x.d.constant(w, if w == 16 { 4 } else { 5 });
-                let word_idx = x.d.ashr(bitoff_full, shift);
-                let word_idx32 = x.d.sext(word_idx, 32);
-                let bytes = x.d.constant(32, if w == 16 { 1 } else { 2 });
-                let byte_off = x.d.shl(word_idx32, bytes);
-                let addr = x.d.add(ea, byte_off);
-                let seg = mem.seg;
-                let v = crate::translate::mem_read(x.d, x.m, seg, addr, size)?;
-                (
-                    v,
-                    Box::new(move |x, nv| crate::translate::mem_write(x.d, x.m, seg, addr, nv, size)),
-                )
-            }
-            (Some(mem), false) => {
-                let ea = x.effective_address(mem);
-                let seg = mem.seg;
-                let v = crate::translate::mem_read(x.d, x.m, seg, ea, size)?;
-                (
-                    v,
-                    Box::new(move |x, nv| crate::translate::mem_write(x.d, x.m, seg, ea, nv, size)),
-                )
-            }
-            (None, _) => {
-                let rm = mr.rm;
-                let v = x.read_reg(rm, size);
-                (
-                    v,
-                    Box::new(move |x, nv| {
-                        x.write_reg(rm, size, nv);
-                        Ok(())
-                    }),
-                )
-            }
-        };
+    let (val, write_back): (
+        D::V,
+        Box<dyn FnOnce(&mut Exec<'_, D>, D::V) -> Result<(), Exception>>,
+    ) = match (&mr.mem, offset_is_reg) {
+        (Some(mem), true) => {
+            // Bit-string addressing: the word index extends the EA,
+            // sign-extended (negative offsets reach below the base).
+            let ea = x.effective_address(mem);
+            let shift = x.d.constant(w, if w == 16 { 4 } else { 5 });
+            let word_idx = x.d.ashr(bitoff_full, shift);
+            let word_idx32 = x.d.sext(word_idx, 32);
+            let bytes = x.d.constant(32, if w == 16 { 1 } else { 2 });
+            let byte_off = x.d.shl(word_idx32, bytes);
+            let addr = x.d.add(ea, byte_off);
+            let seg = mem.seg;
+            let v = crate::translate::mem_read(x.d, x.m, seg, addr, size)?;
+            (
+                v,
+                Box::new(move |x, nv| crate::translate::mem_write(x.d, x.m, seg, addr, nv, size)),
+            )
+        }
+        (Some(mem), false) => {
+            let ea = x.effective_address(mem);
+            let seg = mem.seg;
+            let v = crate::translate::mem_read(x.d, x.m, seg, ea, size)?;
+            (
+                v,
+                Box::new(move |x, nv| crate::translate::mem_write(x.d, x.m, seg, ea, nv, size)),
+            )
+        }
+        (None, _) => {
+            let rm = mr.rm;
+            let v = x.read_reg(rm, size);
+            (
+                v,
+                Box::new(move |x, nv| {
+                    x.write_reg(rm, size, nv);
+                    Ok(())
+                }),
+            )
+        }
+    };
 
     let shifted = x.d.lshr(val, bit_in_word);
     let cf = x.d.extract(shifted, 0, 0);
@@ -672,7 +736,14 @@ pub(super) fn bit_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRes
         }
     }
     let z = x.d.ff();
-    let f = FlagSet { cf, pf: z, af: z, zf: z, sf: z, of: z };
+    let f = FlagSet {
+        cf,
+        pf: z,
+        af: z,
+        zf: z,
+        sf: z,
+        of: z,
+    };
     apply(x, &f, F_CF, F_PF | F_AF | F_ZF | F_SF | F_OF);
     Ok(Flow::Next)
 }
@@ -688,8 +759,11 @@ pub(super) fn bsf_bsr<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRes
     if !x.d.branch(zf, "bsf/bsr source zero") {
         // Scan: build an ITE cascade so no extra paths are created.
         let mut res = x.d.constant(w, 0);
-        let order: Box<dyn Iterator<Item = u8>> =
-            if forward { Box::new((0..w).rev()) } else { Box::new(0..w) };
+        let order: Box<dyn Iterator<Item = u8>> = if forward {
+            Box::new((0..w).rev())
+        } else {
+            Box::new(0..w)
+        };
         for i in order {
             let bit = x.d.extract(src, i, i);
             let iv = x.d.constant(w, i as u64);
@@ -700,7 +774,14 @@ pub(super) fn bsf_bsr<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRes
     // ZF defined; everything else undefined. Destination is unchanged when
     // the source is zero (hardware-observed behavior).
     let z = x.d.ff();
-    let f = FlagSet { cf: z, pf: z, af: z, zf, sf: z, of: z };
+    let f = FlagSet {
+        cf: z,
+        pf: z,
+        af: z,
+        zf,
+        sf: z,
+        of: z,
+    };
     apply(x, &f, F_ZF, F_CF | F_PF | F_AF | F_SF | F_OF);
     Ok(Flow::Next)
 }
@@ -709,7 +790,11 @@ pub(super) fn bsf_bsr<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRes
 /// fault-ordered *after* the write check (the atomicity property QEMU
 /// violates, §6.2).
 pub(super) fn cmpxchg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
-    let size = if inst.class.opcode == 0x0fb0 { 1 } else { inst.opsize() };
+    let size = if inst.class.opcode == 0x0fb0 {
+        1
+    } else {
+        inst.opsize()
+    };
     let mr = inst.modrm.as_ref().expect("modrm");
     let dest = x.read_rm(inst, size)?;
     let acc = x.read_reg(Gpr::Eax as u8, size);
@@ -729,7 +814,11 @@ pub(super) fn cmpxchg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRes
 
 /// `xadd`.
 pub(super) fn xadd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
-    let size = if inst.class.opcode == 0x0fc0 { 1 } else { inst.opsize() };
+    let size = if inst.class.opcode == 0x0fc0 {
+        1
+    } else {
+        inst.opsize()
+    };
     let mr = inst.modrm.as_ref().expect("modrm");
     let dest = x.read_rm(inst, size)?;
     let src = x.read_reg(mr.reg, size);
@@ -780,16 +869,31 @@ pub(super) fn bcd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult 
             let hi_gt = x.d.ult(ninety9, al);
             let adjust_hi = x.d.or(hi_gt, cf_in);
             let six = x.d.constant(8, 6);
-            let step1 = if is_add { x.d.add(al, six) } else { x.d.sub(al, six) };
+            let step1 = if is_add {
+                x.d.add(al, six)
+            } else {
+                x.d.sub(al, six)
+            };
             let al1 = x.d.ite(adjust_lo, step1, al);
             let sixty = x.d.constant(8, 0x60);
-            let step2 = if is_add { x.d.add(al1, sixty) } else { x.d.sub(al1, sixty) };
+            let step2 = if is_add {
+                x.d.add(al1, sixty)
+            } else {
+                x.d.sub(al1, sixty)
+            };
             let al2 = x.d.ite(adjust_hi, step2, al1);
             x.write_reg(Gpr::Eax as u8, 1, al2);
             let pf = flags::parity(x.d, al2);
             let zf = flags::zero(x.d, al2);
             let sf = flags::sign(x.d, al2);
-            let f = FlagSet { cf: adjust_hi, pf, af: adjust_lo, zf, sf, of: x.d.ff() };
+            let f = FlagSet {
+                cf: adjust_hi,
+                pf,
+                af: adjust_lo,
+                zf,
+                sf,
+                of: x.d.ff(),
+            };
             apply(x, &f, F_CF | F_AF | F_PF | F_ZF | F_SF, F_OF);
         }
         0x37 | 0x3f => {
@@ -797,8 +901,16 @@ pub(super) fn bcd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult 
             let is_add = inst.class.opcode == 0x37;
             let six = x.d.constant(8, 6);
             let one = x.d.constant(8, 1);
-            let al_adj = if is_add { x.d.add(al, six) } else { x.d.sub(al, six) };
-            let ah_adj = if is_add { x.d.add(ah, one) } else { x.d.sub(ah, one) };
+            let al_adj = if is_add {
+                x.d.add(al, six)
+            } else {
+                x.d.sub(al, six)
+            };
+            let ah_adj = if is_add {
+                x.d.add(ah, one)
+            } else {
+                x.d.sub(ah, one)
+            };
             let new_al = x.d.ite(adjust_lo, al_adj, al);
             let m = x.d.constant(8, 0xf);
             let new_al = x.d.and(new_al, m);
@@ -806,7 +918,14 @@ pub(super) fn bcd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult 
             let ax = x.d.concat(new_ah, new_al);
             x.write_reg(Gpr::Eax as u8, 2, ax);
             let z = x.d.ff();
-            let f = FlagSet { cf: adjust_lo, pf: z, af: adjust_lo, zf: z, sf: z, of: z };
+            let f = FlagSet {
+                cf: adjust_lo,
+                pf: z,
+                af: adjust_lo,
+                zf: z,
+                sf: z,
+                of: z,
+            };
             apply(x, &f, F_CF | F_AF, F_PF | F_ZF | F_SF | F_OF);
         }
         0xd4 => {
@@ -825,7 +944,14 @@ pub(super) fn bcd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult 
             let zf = flags::zero(x.d, r);
             let sf = flags::sign(x.d, r);
             let zb = x.d.ff();
-            let f = FlagSet { cf: zb, pf, af: zb, zf, sf, of: zb };
+            let f = FlagSet {
+                cf: zb,
+                pf,
+                af: zb,
+                zf,
+                sf,
+                of: zb,
+            };
             apply(x, &f, F_PF | F_ZF | F_SF, F_CF | F_AF | F_OF);
         }
         _ => {
@@ -840,7 +966,14 @@ pub(super) fn bcd<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult 
             let zf = flags::zero(x.d, new_al);
             let sf = flags::sign(x.d, new_al);
             let zb = x.d.ff();
-            let f = FlagSet { cf: zb, pf, af: zb, zf, sf, of: zb };
+            let f = FlagSet {
+                cf: zb,
+                pf,
+                af: zb,
+                zf,
+                sf,
+                of: zb,
+            };
             apply(x, &f, F_PF | F_ZF | F_SF, F_CF | F_AF | F_OF);
         }
     }
@@ -878,7 +1011,11 @@ pub(super) fn sign_extensions<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) ->
 /// `movzx` / `movsx`.
 pub(super) fn movzx_movsx<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult {
     let mr = inst.modrm.as_ref().expect("modrm");
-    let src_size = if matches!(inst.class.opcode, 0x0fb6 | 0x0fbe) { 1 } else { 2 };
+    let src_size = if matches!(inst.class.opcode, 0x0fb6 | 0x0fbe) {
+        1
+    } else {
+        2
+    };
     let dst_size = inst.opsize();
     let v = x.read_rm(inst, src_size)?;
     let out = if matches!(inst.class.opcode, 0x0fb6 | 0x0fb7) {

@@ -132,7 +132,11 @@ fn far_call<D: Dom>(
     x.load_segment(Seg::Cs, sel, desc_kind::CODE)?;
     let cs_z = x.d.zext(old_cs, size * 8);
     x.push(cs_z, size)?;
-    let ret = if size == 2 { x.d.extract(old_eip, 15, 0) } else { old_eip };
+    let ret = if size == 2 {
+        x.d.extract(old_eip, 15, 0)
+    } else {
+        old_eip
+    };
     x.push(ret, size)?;
     let off32 = x.d.zext(offset, 32);
     x.set_eip(off32);
@@ -246,10 +250,18 @@ pub(super) fn enter<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResul
             let v = crate::translate::mem_read(x.d, x.m, Seg::Ss, addr, size)?;
             x.push(v, size)?;
         }
-        let ft = if size == 2 { x.d.extract(frame_temp, 15, 0) } else { frame_temp };
+        let ft = if size == 2 {
+            x.d.extract(frame_temp, 15, 0)
+        } else {
+            frame_temp
+        };
         x.push(ft, size)?;
     }
-    let ft_sz = if size == 2 { x.d.extract(frame_temp, 15, 0) } else { frame_temp };
+    let ft_sz = if size == 2 {
+        x.d.extract(frame_temp, 15, 0)
+    } else {
+        frame_temp
+    };
     x.write_reg(Gpr::Ebp as u8, size, ft_sz);
     let alloc32 = x.d.zext(alloc, 32);
     let esp = x.read_reg(Gpr::Esp as u8, 4);

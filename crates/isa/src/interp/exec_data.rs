@@ -4,7 +4,7 @@ use pokemu_symx::Dom;
 
 use crate::flags::{self, sub_flags};
 use crate::inst::{Inst, Rep};
-use crate::state::flags::{AF, CF, DF, IF, IOPL, OF, PF, SF, ZF, FIXED_ONE, WRITABLE};
+use crate::state::flags::{AF, CF, DF, FIXED_ONE, IF, IOPL, OF, PF, SF, WRITABLE, ZF};
 use crate::state::{Exception, Gpr, Seg};
 use crate::translate::{self, desc_kind};
 
@@ -79,7 +79,11 @@ pub(super) fn mov_sreg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRe
             return Err(Exception::Ud);
         }
         let sel = x.read_rm(inst, 2)?;
-        let kind = if seg == Seg::Ss { desc_kind::STACK } else { desc_kind::DATA };
+        let kind = if seg == Seg::Ss {
+            desc_kind::STACK
+        } else {
+            desc_kind::DATA
+        };
         x.load_segment(seg, sel, kind)?;
     }
     Ok(Flow::Next)
@@ -92,7 +96,11 @@ pub(super) fn lea<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResult 
     let mem = *mem;
     let ea = x.effective_address(&mem);
     let size = inst.opsize();
-    let v = if size == 2 { x.d.extract(ea, 15, 0) } else { ea };
+    let v = if size == 2 {
+        x.d.extract(ea, 15, 0)
+    } else {
+        ea
+    };
     x.write_reg(mr.reg, size, v);
     Ok(Flow::Next)
 }
@@ -178,7 +186,11 @@ pub(super) fn push_pop_sreg<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> E
         x.push(v, size)?;
     } else {
         let v = x.pop(size)?;
-        let kind = if seg == Seg::Ss { desc_kind::STACK } else { desc_kind::DATA };
+        let kind = if seg == Seg::Ss {
+            desc_kind::STACK
+        } else {
+            desc_kind::DATA
+        };
         if let Err(e) = x.load_segment(seg, v, kind) {
             x.bump_esp(-(size as i32));
             return Err(e);
@@ -239,7 +251,10 @@ pub(super) fn write_eflags<D: Dom>(x: &mut Exec<'_, D>, new: D::V, size: u8) {
     if size == 2 {
         mask |= 0xffff_0000; // carried over from old anyway
     }
-    let keep = x.d.constant(32, (!mask & !(1 << IF) & !(3 << IOPL)) as u64 | FIXED_ONE as u64);
+    let keep = x.d.constant(
+        32,
+        (!mask & !(1 << IF) & !(3 << IOPL)) as u64 | FIXED_ONE as u64,
+    );
     let _ = keep;
     // Base: writable bits from new, everything else from old.
     let m_new = x.d.constant(32, mask as u64);
@@ -273,7 +288,8 @@ pub(super) fn pushf_popf<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> Exec
             x.d.extract(x.m.eflags, 15, 0)
         } else {
             // VM and RF read as 0 on pushf.
-            let m = x.d.constant(32, !((1u64 << 16) | (1u64 << 17)) & 0xffff_ffff);
+            let m =
+                x.d.constant(32, !((1u64 << 16) | (1u64 << 17)) & 0xffff_ffff);
             x.d.and(x.m.eflags, m)
         };
         x.push(v, size)?;
@@ -335,7 +351,11 @@ pub(super) fn flag_ops<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecRe
             if !x.d.branch(ok, "cli/sti IOPL check") {
                 return Err(Exception::Gp(0));
             }
-            let v = if inst.class.opcode == 0xfb { x.d.tt() } else { x.d.ff() };
+            let v = if inst.class.opcode == 0xfb {
+                x.d.tt()
+            } else {
+                x.d.ff()
+            };
             x.m.eflags = flags::insert_bit(x.d, x.m.eflags, IF, v);
         }
         0xfc => {
@@ -447,8 +467,7 @@ fn string_one<D: Dom>(
             let b = translate::mem_read(x.d, x.m, Seg::Es, edi, size)?;
             let r = x.d.sub(a, b);
             let f = sub_flags(x.d, a, b, None, r);
-            x.m.eflags =
-                flags::apply_flags(x.d, x.m.eflags, &f, F_ALL, 0, x.q.undef_policy);
+            x.m.eflags = flags::apply_flags(x.d, x.m.eflags, &f, F_ALL, 0, x.q.undef_policy);
             advance(x, Gpr::Esi, size);
             advance(x, Gpr::Edi, size);
         }
@@ -470,8 +489,7 @@ fn string_one<D: Dom>(
             let b = translate::mem_read(x.d, x.m, Seg::Es, edi, size)?;
             let r = x.d.sub(a, b);
             let f = sub_flags(x.d, a, b, None, r);
-            x.m.eflags =
-                flags::apply_flags(x.d, x.m.eflags, &f, F_ALL, 0, x.q.undef_policy);
+            x.m.eflags = flags::apply_flags(x.d, x.m.eflags, &f, F_ALL, 0, x.q.undef_policy);
             advance(x, Gpr::Edi, size);
         }
     }

@@ -68,7 +68,8 @@ pub(super) fn mov_cr<D: Dom>(x: &mut Exec<'_, D>, inst: &Inst<D::V>) -> ExecResu
             }
             4 => {
                 // PAE is unsupported in the subset.
-                let pae = x.d.extract(v, crate::state::cr4::PAE, crate::state::cr4::PAE);
+                let pae =
+                    x.d.extract(v, crate::state::cr4::PAE, crate::state::cr4::PAE);
                 if x.d.branch(pae, "CR4.PAE unsupported") {
                     return Err(Exception::Gp(0));
                 }

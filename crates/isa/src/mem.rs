@@ -33,7 +33,9 @@ struct Page<V> {
 
 impl<V: Copy> Page<V> {
     fn new() -> Self {
-        Page { bytes: vec![None; PAGE_SIZE] }
+        Page {
+            bytes: vec![None; PAGE_SIZE],
+        }
     }
 }
 
@@ -55,7 +57,11 @@ impl<V: Copy> Memory<V> {
     /// Creates an empty memory of [`crate::state::PHYS_MEM_SIZE`] bytes with
     /// the zero policy.
     pub fn new() -> Self {
-        Memory { pages: HashMap::new(), policy: MissingPolicy::Zero, size: crate::state::PHYS_MEM_SIZE }
+        Memory {
+            pages: HashMap::new(),
+            policy: MissingPolicy::Zero,
+            size: crate::state::PHYS_MEM_SIZE,
+        }
     }
 
     /// Sets the policy for unwritten bytes.
@@ -85,7 +91,10 @@ impl<V: Copy> Memory<V> {
     /// materialization is stored so later reads see the same variable.
     pub fn read_u8<D: Dom<V = V>>(&mut self, d: &mut D, addr: u32) -> V {
         let addr = self.wrap(addr);
-        let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(Page::new);
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(Page::new);
         let slot = &mut page.bytes[(addr as usize) & (PAGE_SIZE - 1)];
         match *slot {
             Some(v) => v,
@@ -103,7 +112,10 @@ impl<V: Copy> Memory<V> {
     /// Writes one byte of physical memory.
     pub fn write_u8(&mut self, addr: u32, v: V) {
         let addr = self.wrap(addr);
-        let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(Page::new);
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(Page::new);
         page.bytes[(addr as usize) & (PAGE_SIZE - 1)] = Some(v);
     }
 
@@ -158,7 +170,10 @@ impl<V: Copy> Memory<V> {
 
     /// Number of initialized bytes (for diagnostics).
     pub fn initialized_len(&self) -> usize {
-        self.pages.values().map(|p| p.bytes.iter().filter(|b| b.is_some()).count()).sum()
+        self.pages
+            .values()
+            .map(|p| p.bytes.iter().filter(|b| b.is_some()).count())
+            .sum()
     }
 }
 
@@ -218,8 +233,10 @@ mod tests {
         let mut d = Concrete::new();
         let mut m: Memory<_> = Memory::new();
         m.load_bytes(&mut d, 0x7c00, &[1, 2, 3]);
-        let init: Vec<(u32, u64)> =
-            m.iter_initialized().map(|(a, v)| (a, d.as_const(v).unwrap())).collect();
+        let init: Vec<(u32, u64)> = m
+            .iter_initialized()
+            .map(|(a, v)| (a, d.as_const(v).unwrap()))
+            .collect();
         assert_eq!(init, vec![(0x7c00, 1), (0x7c01, 2), (0x7c02, 3)]);
     }
 }

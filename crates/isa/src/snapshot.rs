@@ -75,7 +75,12 @@ impl Snapshot {
     /// Captures a snapshot from a concrete [`Machine`].
     pub fn capture(d: &mut Concrete, m: &Machine<pokemu_symx::CVal>, outcome: Outcome) -> Snapshot {
         let g = |d: &Concrete, v| d.as_const(v).expect("concrete machine") as u32;
-        let mut segs = [SegSnapshot { selector: 0, base: 0, limit: 0, attrs: 0 }; 6];
+        let mut segs = [SegSnapshot {
+            selector: 0,
+            base: 0,
+            limit: 0,
+            attrs: 0,
+        }; 6];
         for s in Seg::ALL {
             let sr = &m.segs[s as usize];
             segs[s as usize] = SegSnapshot {
@@ -113,11 +118,19 @@ impl Snapshot {
     pub fn diff(&self, other: &Snapshot) -> Vec<String> {
         let mut out = Vec::new();
         if self.outcome != other.outcome {
-            out.push(format!("outcome: {:?} vs {:?}", self.outcome, other.outcome));
+            out.push(format!(
+                "outcome: {:?} vs {:?}",
+                self.outcome, other.outcome
+            ));
         }
         for (i, r) in crate::state::Gpr::ALL.iter().enumerate() {
             if self.gpr[i] != other.gpr[i] {
-                out.push(format!("{}: {:#x} vs {:#x}", r.name(), self.gpr[i], other.gpr[i]));
+                out.push(format!(
+                    "{}: {:#x} vs {:#x}",
+                    r.name(),
+                    self.gpr[i],
+                    other.gpr[i]
+                ));
             }
         }
         if self.eip != other.eip {

@@ -30,8 +30,16 @@ pub enum Gpr {
 
 impl Gpr {
     /// All registers in encoding order.
-    pub const ALL: [Gpr; 8] =
-        [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esp, Gpr::Ebp, Gpr::Esi, Gpr::Edi];
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
 
     /// Builds from a 3-bit encoding.
     ///
@@ -120,8 +128,12 @@ pub mod flags {
     /// Mask of bits that are architecturally writable in our subset.
     pub const WRITABLE: u32 = 0x003f_7fd5;
     /// Mask of the arithmetic status flags.
-    pub const STATUS: u32 =
-        (1 << CF as u32) | (1 << PF as u32) | (1 << AF as u32) | (1 << ZF as u32) | (1 << SF as u32) | (1 << OF as u32);
+    pub const STATUS: u32 = (1 << CF as u32)
+        | (1 << PF as u32)
+        | (1 << AF as u32)
+        | (1 << ZF as u32)
+        | (1 << SF as u32)
+        | (1 << OF as u32);
 }
 
 /// CR0 bit positions.
@@ -358,7 +370,14 @@ impl<V: Copy> Machine<V> {
         let z32 = d.constant(32, 0);
         let z16 = d.constant(16, 0);
         let za = d.constant(attrs::WIDTH, 0);
-        let seg = SegReg { selector: z16, cache: DescCache { base: z32, limit: z32, attrs: za } };
+        let seg = SegReg {
+            selector: z16,
+            cache: DescCache {
+                base: z32,
+                limit: z32,
+                attrs: za,
+            },
+        };
         Machine {
             gpr: [z32; 8],
             eip: 0,
@@ -369,9 +388,20 @@ impl<V: Copy> Machine<V> {
             cr3_base: 0,
             cr3_flags: z32,
             cr4: z32,
-            gdtr: TableReg { base: 0, limit: z16 },
-            idtr: TableReg { base: 0, limit: z16 },
-            msrs: Msrs { sysenter_cs: z32, sysenter_esp: z32, sysenter_eip: z32, tsc: 0 },
+            gdtr: TableReg {
+                base: 0,
+                limit: z16,
+            },
+            idtr: TableReg {
+                base: 0,
+                limit: z16,
+            },
+            msrs: Msrs {
+                sysenter_cs: z32,
+                sysenter_esp: z32,
+                sysenter_eip: z32,
+                tsc: 0,
+            },
             mem: Memory::new(),
         }
     }
@@ -463,7 +493,10 @@ impl RawDescriptor {
     /// Decodes from the 8-byte GDT entry format.
     pub fn decode(b: [u8; 8]) -> RawDescriptor {
         RawDescriptor {
-            base: (b[2] as u32) | ((b[3] as u32) << 8) | ((b[4] as u32) << 16) | ((b[7] as u32) << 24),
+            base: (b[2] as u32)
+                | ((b[3] as u32) << 8)
+                | ((b[4] as u32) << 16)
+                | ((b[7] as u32) << 24),
             limit: (b[0] as u32) | ((b[1] as u32) << 8) | (((b[6] & 0xf) as u32) << 16),
             typ: b[5] & 0xf,
             s: b[5] & 0x10 != 0,

@@ -55,7 +55,13 @@ pub fn seg_linear<D: Dom>(
     kind: AccessKind,
 ) -> Result<D::V, Exception> {
     let cache = m.segs[seg as usize].cache;
-    let fault = || if seg == Seg::Ss { Exception::Ss(0) } else { Exception::Gp(0) };
+    let fault = || {
+        if seg == Seg::Ss {
+            Exception::Ss(0)
+        } else {
+            Exception::Gp(0)
+        }
+    };
 
     let a = cache.attrs;
     // Present?
@@ -597,7 +603,8 @@ mod tests {
     #[test]
     fn flat_data_descriptor_loads_cleanly() {
         let desc = RawDescriptor::flat(0x3); // accessed writable data
-        let (f, base, limit, _) = run_checks(desc, selbuild::build(2, false, 0), 0, desc_kind::DATA);
+        let (f, base, limit, _) =
+            run_checks(desc, selbuild::build(2, false, 0), 0, desc_kind::DATA);
         assert_eq!(f, 0);
         assert_eq!(base, 0);
         assert_eq!(limit, 0xffff_ffff);
@@ -655,7 +662,11 @@ mod tests {
         );
         // The summarized function should have on the order of 20+ paths —
         // the §3.3.2 "23 paths" observation for Bochs.
-        assert!(summary.cases() >= 15, "expected many paths, got {}", summary.cases());
+        assert!(
+            summary.cases() >= 15,
+            "expected many paths, got {}",
+            summary.cases()
+        );
 
         // Spot-check the folded formula against direct concrete execution.
         let samples = [
@@ -663,7 +674,10 @@ mod tests {
             (RawDescriptor::flat(0xb), 0x10, 0, desc_kind::CODE),
             (RawDescriptor::flat(0x3), 0x13, 3, desc_kind::STACK),
             (
-                RawDescriptor { present: false, ..RawDescriptor::flat(0x3) },
+                RawDescriptor {
+                    present: false,
+                    ..RawDescriptor::flat(0x3)
+                },
                 0x10,
                 0,
                 desc_kind::DATA,

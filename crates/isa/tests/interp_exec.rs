@@ -23,7 +23,11 @@ fn flat_machine(code: &[u8]) -> (Concrete, Machine<CVal>) {
     // Flat descriptor caches for every segment.
     for (i, seg) in Seg::ALL.iter().enumerate() {
         let typ: u8 = if *seg == Seg::Cs { 0xb } else { 0x3 }; // code RX / data RW
-        let a: u64 = (typ as u64) | (1 << attrs::S as u64) | (1 << attrs::P as u64) | (1 << attrs::DB as u64) | (1 << attrs::G as u64);
+        let a: u64 = (typ as u64)
+            | (1 << attrs::S as u64)
+            | (1 << attrs::P as u64)
+            | (1 << attrs::DB as u64)
+            | (1 << attrs::G as u64);
         let s = &mut m.segs[i];
         s.selector = d.constant(16, ((i as u64) + 1) << 3);
         s.cache.base = d.constant(32, 0);
@@ -177,7 +181,11 @@ fn mul_wide_result() {
     assert_eq!(out, StepOutcome::Halt);
     assert_eq!(reg(&d, &m, Gpr::Eax), 0);
     assert_eq!(reg(&d, &m, Gpr::Edx), 1);
-    assert_ne!(eflags(&d, &m) & (1 << fl::CF), 0, "CF set when high half non-zero");
+    assert_ne!(
+        eflags(&d, &m) & (1 << fl::CF),
+        0,
+        "CF set when high half non-zero"
+    );
 }
 
 #[test]
@@ -312,7 +320,9 @@ fn segment_load_sets_accessed_bit() {
     desc.dpl = 0;
     m.mem.load_bytes(&mut d, GDT_BASE + 8 * 8, &desc.encode());
     let mut a = Asm::new();
-    a.mov_ax_imm16(selector::build(8, false, 0)).mov_sreg_ax(Seg::Es).hlt();
+    a.mov_ax_imm16(selector::build(8, false, 0))
+        .mov_sreg_ax(Seg::Es)
+        .hlt();
     m.mem.load_bytes(&mut d, CODE_BASE, a.bytes());
     let q = Quirks::HARDWARE;
     for _ in 0..10 {
@@ -333,7 +343,9 @@ fn not_present_segment_load_is_np() {
     desc.present = false;
     m.mem.load_bytes(&mut d, GDT_BASE + 8 * 8, &desc.encode());
     let mut a = Asm::new();
-    a.mov_ax_imm16(selector::build(8, false, 0)).mov_sreg_ax(Seg::Es).hlt();
+    a.mov_ax_imm16(selector::build(8, false, 0))
+        .mov_sreg_ax(Seg::Es)
+        .hlt();
     m.mem.load_bytes(&mut d, CODE_BASE, a.bytes());
     let q = Quirks::HARDWARE;
     let mut out = StepOutcome::Normal;
@@ -422,7 +434,8 @@ fn paging_sets_accessed_and_dirty() {
     let pt = 0x11000u32;
     m.mem.load_bytes(&mut d, pd, &(pt | 0x3).to_le_bytes());
     for i in 0..1024u32 {
-        m.mem.load_bytes(&mut d, pt + i * 4, &((i << 12) | 0x3).to_le_bytes());
+        m.mem
+            .load_bytes(&mut d, pt + i * 4, &((i << 12) | 0x3).to_le_bytes());
     }
     m.cr3_base = pd;
     m.cr0 = d.constant(32, (1 << cr0::PE) | (1u64 << cr0::PG));
@@ -452,7 +465,7 @@ fn iret_pops_three_and_loads_flags() {
         .push_imm32(2 << 3) // cs selector (GDT entry 2 = flat code)
         .push_imm32(CODE_BASE + 100) // eip
         .raw(&[0xcf]); // iret
-    // At CODE_BASE+100: hlt.
+                       // At CODE_BASE+100: hlt.
     let (mut d, mut m) = flat_machine(a.bytes());
     m.mem.load_bytes(&mut d, CODE_BASE + 100, &[0xf4]);
     let q = Quirks::HARDWARE;
@@ -532,6 +545,14 @@ fn undefined_flags_differ_between_quirks() {
     };
     let hw = run_q(Quirks::HARDWARE);
     let hifi = run_q(Quirks::HIFI);
-    assert_eq!(hw & (1 << fl::CF), hifi & (1 << fl::CF), "defined flags agree");
-    assert_ne!(hw & (1 << fl::PF), hifi & (1 << fl::PF), "undefined PF differs");
+    assert_eq!(
+        hw & (1 << fl::CF),
+        hifi & (1 << fl::CF),
+        "defined flags agree"
+    );
+    assert_ne!(
+        hw & (1 << fl::PF),
+        hifi & (1 << fl::PF),
+        "undefined PF differs"
+    );
 }

@@ -1,69 +1,73 @@
 //! Property tests for the decoder and assembler.
 
-use proptest::prelude::*;
-
 use pokemu_isa::asm::Asm;
 use pokemu_isa::decode::decode;
 use pokemu_isa::state::{Gpr, Seg};
 use pokemu_symx::{Concrete, Dom};
 
-fn decode_bytes(bytes: &[u8]) -> Result<pokemu_isa::Inst<pokemu_symx::CVal>, pokemu_isa::Exception> {
+fn decode_bytes(
+    bytes: &[u8],
+) -> Result<pokemu_isa::Inst<pokemu_symx::CVal>, pokemu_isa::Exception> {
     let mut d = Concrete::new();
     let owned = bytes.to_vec();
-    decode(&mut d, move |d, i| Ok(d.constant(8, *owned.get(i as usize).unwrap_or(&0) as u64)))
+    decode(&mut d, move |d, i| {
+        Ok(d.constant(8, *owned.get(i as usize).unwrap_or(&0) as u64))
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
+pokemu_rt::prop! {
     /// The decoder is total and bounded: any byte string either decodes to
     /// an instruction of length <= 15 or faults — it never panics or reads
     /// past the buffer guard.
-    #[test]
-    fn decoder_is_total_and_bounded(bytes in prop::collection::vec(any::<u8>(), 1..20)) {
+    fn decoder_is_total_and_bounded(g, cases = 512) {
+        let bytes = g.bytes(1, 20);
         match decode_bytes(&bytes) {
             Ok(inst) => {
-                prop_assert!(inst.len >= 1 && inst.len <= 15);
+                assert!(inst.len >= 1 && inst.len <= 15);
                 // Decoding the same bytes again is deterministic.
                 let again = decode_bytes(&bytes).unwrap();
-                prop_assert_eq!(inst.class, again.class);
-                prop_assert_eq!(inst.len, again.len);
+                assert_eq!(inst.class, again.class);
+                assert_eq!(inst.len, again.len);
             }
             Err(_) => {
                 // Faults are deterministic too.
-                prop_assert!(decode_bytes(&bytes).is_err());
+                assert!(decode_bytes(&bytes).is_err());
             }
         }
     }
 
     /// Assembler output always decodes, and to the instruction intended.
-    #[test]
-    fn assembler_roundtrips(reg in 0u8..8, imm in any::<u32>(), addr in 0u32..0x40_0000, v in any::<u8>()) {
+    fn assembler_roundtrips(g, cases = 256) {
+        let reg = g.range(0..8u8);
+        let imm: u32 = g.gen();
+        let addr = g.range(0..0x40_0000u32);
+        let v: u8 = g.gen();
+
         let r = Gpr::ALL[reg as usize];
         let mut a = Asm::new();
         a.mov_r32_imm32(r, imm);
         let i = decode_bytes(a.bytes()).unwrap();
-        prop_assert_eq!(i.class.opcode, 0xb8 + reg as u16);
-        prop_assert_eq!(i.len as usize, a.len());
+        assert_eq!(i.class.opcode, 0xb8 + reg as u16);
+        assert_eq!(i.len as usize, a.len());
 
         let mut a = Asm::new();
         a.mov_m8_imm8(addr, v);
         let i = decode_bytes(a.bytes()).unwrap();
-        prop_assert_eq!(i.class.opcode, 0xc6);
-        prop_assert_eq!(i.len as usize, a.len());
+        assert_eq!(i.class.opcode, 0xc6);
+        assert_eq!(i.len as usize, a.len());
     }
 
     /// Segment-override prefixes never change the instruction class, only
     /// the memory operand's segment.
-    #[test]
-    fn segment_override_is_transparent(seg in 0usize..6) {
+    fn segment_override_is_transparent(g, cases = 64) {
+        let seg = g.range(0..6usize);
         let prefixes = [0x26u8, 0x2e, 0x36, 0x3e, 0x64, 0x65];
         let segs = [Seg::Es, Seg::Cs, Seg::Ss, Seg::Ds, Seg::Fs, Seg::Gs];
         // mov eax, [ebx]
         let base = decode_bytes(&[0x8b, 0x03]).unwrap();
         let over = decode_bytes(&[prefixes[seg], 0x8b, 0x03]).unwrap();
-        prop_assert_eq!(base.class, over.class);
-        prop_assert_eq!(over.modrm.unwrap().mem.unwrap().seg, segs[seg]);
+        assert_eq!(base.class, over.class);
+        assert_eq!(over.modrm.unwrap().mem.unwrap().seg, segs[seg]);
     }
 }
 
@@ -76,7 +80,10 @@ fn one_byte_opcode_space_matches_table() {
         let mut buf = vec![b];
         buf.extend_from_slice(&[0; 14]);
         let decoded = decode_bytes(&buf);
-        let is_prefix = matches!(b, 0x26 | 0x2e | 0x36 | 0x3e | 0x64 | 0x65 | 0x66 | 0xf0 | 0xf2 | 0xf3);
+        let is_prefix = matches!(
+            b,
+            0x26 | 0x2e | 0x36 | 0x3e | 0x64 | 0x65 | 0x66 | 0xf0 | 0xf2 | 0xf3
+        );
         if is_prefix {
             // Prefix followed by zeros: decodes as the prefixed 0x00 insn.
             continue;

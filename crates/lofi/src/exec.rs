@@ -31,7 +31,12 @@ pub struct Core {
 impl Core {
     /// Creates a core with the given fidelity profile.
     pub fn new(fid: Fidelity) -> Self {
-        Core { m: LofiMachine::new(), tlb: Tlb::default(), fid, dirty_pages: Vec::new() }
+        Core {
+            m: LofiMachine::new(),
+            tlb: Tlb::default(),
+            fid,
+            dirty_pages: Vec::new(),
+        }
     }
 
     fn vread(&mut self, seg: Seg, off: u32, len: u8) -> Result<u32, Exception> {
@@ -163,8 +168,16 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
             Uop::Const { dst, val } => t[dst as usize] = val,
             Uop::ReadReg { dst, reg, size } => t[dst as usize] = read_reg(&core.m, reg, size),
             Uop::WriteReg { reg, size, src } => write_reg(&mut core.m, reg, size, t[src as usize]),
-            Uop::ReadSel { dst, seg } => t[dst as usize] = core.m.segs[seg as usize].selector as u32,
-            Uop::Alu { op, size, dst, a, b } => {
+            Uop::ReadSel { dst, seg } => {
+                t[dst as usize] = core.m.segs[seg as usize].selector as u32
+            }
+            Uop::Alu {
+                op,
+                size,
+                dst,
+                a,
+                b,
+            } => {
                 let (x, y) = (t[a as usize] & mask(size), t[b as usize] & mask(size));
                 let w = size * 8;
                 let v = match op {
@@ -175,11 +188,19 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                     AluKind::Xor => x ^ y,
                     AluKind::Shl => {
                         let s = y & 31;
-                        if s >= w as u32 { 0 } else { x << s }
+                        if s >= w as u32 {
+                            0
+                        } else {
+                            x << s
+                        }
                     }
                     AluKind::Shr => {
                         let s = y & 31;
-                        if s >= w as u32 { 0 } else { x >> s }
+                        if s >= w as u32 {
+                            0
+                        } else {
+                            x >> s
+                        }
                     }
                     AluKind::Sar => {
                         let s = y & 31;
@@ -197,7 +218,13 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
             Uop::Neg { dst, a, size } => {
                 t[dst as usize] = (t[a as usize] & mask(size)).wrapping_neg() & mask(size)
             }
-            Uop::Ext { dst, a, from, to, signed } => {
+            Uop::Ext {
+                dst,
+                a,
+                from,
+                to,
+                signed,
+            } => {
                 let v = t[a as usize] & mask(from);
                 let v = if signed && to > from {
                     let shift = 32 - from * 8;
@@ -208,13 +235,31 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                 t[dst as usize] = v & mask(to);
             }
             Uop::Bswap { dst, a } => t[dst as usize] = t[a as usize].swap_bytes(),
-            Uop::Ld { dst, seg, addr, size } => {
+            Uop::Ld {
+                dst,
+                seg,
+                addr,
+                size,
+            } => {
                 t[dst as usize] = try_mem!(core, core.vread(seg, t[addr as usize], size));
             }
-            Uop::St { seg, addr, src, size } => {
-                try_mem!(core, core.vwrite(seg, t[addr as usize], t[src as usize], size));
+            Uop::St {
+                seg,
+                addr,
+                src,
+                size,
+            } => {
+                try_mem!(
+                    core,
+                    core.vwrite(seg, t[addr as usize], t[src as usize], size)
+                );
             }
-            Uop::Lea { dst, base, index, disp } => {
+            Uop::Lea {
+                dst,
+                base,
+                index,
+                disp,
+            } => {
                 let mut ea = disp;
                 if let Some(b) = base {
                     ea = ea.wrapping_add(core.m.gpr[b as usize]);
@@ -224,7 +269,13 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                 }
                 t[dst as usize] = ea;
             }
-            Uop::SetCc { cc, size, dst, a, b } => {
+            Uop::SetCc {
+                cc,
+                size,
+                dst,
+                a,
+                b,
+            } => {
                 let op = match cc {
                     CcKind::Logic => CcOp::Logic,
                     CcKind::Add => CcOp::Add,
@@ -256,7 +307,11 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                 t[dst as usize] = cond_eval(core.m.eflags(), cc) as u32;
             }
             Uop::Select { dst, cond, a, b } => {
-                t[dst as usize] = if t[cond as usize] != 0 { t[a as usize] } else { t[b as usize] };
+                t[dst as usize] = if t[cond as usize] != 0 {
+                    t[a as usize]
+                } else {
+                    t[b as usize]
+                };
             }
             Uop::SetEip { target } => return TbExit::Next(t[target as usize]),
             Uop::SetEipImm { target } => return TbExit::Next(target),
@@ -283,7 +338,11 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
             }
             Uop::SetDirection { set } => {
                 let f = core.m.eflags();
-                let nf = if set { f | (1 << fl::DF) } else { f & !(1 << fl::DF) };
+                let nf = if set {
+                    f | (1 << fl::DF)
+                } else {
+                    f & !(1 << fl::DF)
+                };
                 core.m.set_eflags(nf);
             }
             Uop::Raise { vector } => {
@@ -434,7 +493,11 @@ fn helper_load_seg(core: &mut Core, seg: Seg, sel: u16, kind: u8) -> Result<(), 
     let base = ((lo >> 16) & 0xffff) | ((hi & 0xff) << 16) | (hi & 0xff00_0000);
     let raw_limit = (lo & 0xffff) | (hi & 0xf_0000);
     let g = hi & (1 << 23) != 0;
-    let limit = if g { (raw_limit << 12) | 0xfff } else { raw_limit };
+    let limit = if g {
+        (raw_limit << 12) | 0xfff
+    } else {
+        raw_limit
+    };
     let s = &mut core.m.segs[seg as usize];
     s.selector = sel;
     s.base = base;
@@ -459,7 +522,11 @@ fn pop32(core: &mut Core, size: u8) -> Result<u32, Exception> {
 
 fn write_eflags_checked(core: &mut Core, new: u32, size: u8) {
     let old = core.m.eflags();
-    let new32 = if size == 2 { (old & 0xffff_0000) | (new & 0xffff) } else { new };
+    let new32 = if size == 2 {
+        (old & 0xffff_0000) | (new & 0xffff)
+    } else {
+        new
+    };
     let cpl = core.m.cpl() as u32;
     let iopl = (old >> fl::IOPL) & 3;
     let mut mask = fl::WRITABLE & !(1 << fl::IF) & !(3 << fl::IOPL);
@@ -489,7 +556,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
         }
         Helper::PopSeg { seg, size } => {
             let v = pop32(core, size)?;
-            let kind = if seg == Seg::Ss { desc_kind::STACK } else { desc_kind::DATA } as u8;
+            let kind = if seg == Seg::Ss {
+                desc_kind::STACK
+            } else {
+                desc_kind::DATA
+            } as u8;
             if let Err(e) = helper_load_seg(core, seg, v as u16, kind) {
                 core.m.gpr[4] = core.m.gpr[4].wrapping_sub(size as u32);
                 return Err(e);
@@ -508,12 +579,19 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
         }
         Helper::Sahf => {
             let ah = read_reg(&core.m, 4, 1);
-            const M: u32 = (1 << fl::SF) | (1 << fl::ZF) | (1 << fl::AF) | (1 << fl::PF) | (1 << fl::CF);
+            const M: u32 =
+                (1 << fl::SF) | (1 << fl::ZF) | (1 << fl::AF) | (1 << fl::PF) | (1 << fl::CF);
             let old = core.m.eflags();
             core.m.set_eflags((old & !M) | (ah & M) | fl::FIXED_ONE);
             Ok(HelperExit::Continue)
         }
-        Helper::Shift { g, size, val, count, out } => {
+        Helper::Shift {
+            g,
+            size,
+            val,
+            count,
+            out,
+        } => {
             let w = (size * 8) as u32;
             let v = t[val as usize] & mask(size);
             let c = t[count as usize] & 0x1f;
@@ -537,8 +615,16 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                 }
                 7 => {
                     let sx = ((v << (32 - w)) as i32) >> (32 - w);
-                    let res = if c >= w { (sx >> 31) as u32 } else { (sx >> c) as u32 };
-                    let cf = if c > w { (sx >> 31) as u32 & 1 } else { ((sx >> (c - 1)) as u32) & 1 };
+                    let res = if c >= w {
+                        (sx >> 31) as u32
+                    } else {
+                        (sx >> c) as u32
+                    };
+                    let cf = if c > w {
+                        (sx >> 31) as u32 & 1
+                    } else {
+                        ((sx >> (c - 1)) as u32) & 1
+                    };
                     (res, cf, 0)
                 }
                 0 => {
@@ -593,10 +679,25 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             if !is_rotate {
                 status &= !(1 << fl::AF);
             }
-            set_status(&mut core.m, status, if is_rotate { (1 << fl::CF) | (1 << fl::OF) } else { fl::STATUS });
+            set_status(
+                &mut core.m,
+                status,
+                if is_rotate {
+                    (1 << fl::CF) | (1 << fl::OF)
+                } else {
+                    fl::STATUS
+                },
+            );
             Ok(HelperExit::Continue)
         }
-        Helper::ShiftD { left, size, dst, src, count, out } => {
+        Helper::ShiftD {
+            left,
+            size,
+            dst,
+            src,
+            count,
+            out,
+        } => {
             let w = (size * 8) as u32;
             let a = t[dst as usize] & mask(size);
             let b = t[src as usize] & mask(size);
@@ -612,10 +713,16 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             };
             let (res, cf) = if left {
                 let sh = wide << c;
-                (((sh >> w) & mask(size) as u64) as u32, ((wide >> (2 * w as u64 - c as u64)) & 1) as u32)
+                (
+                    ((sh >> w) & mask(size) as u64) as u32,
+                    ((wide >> (2 * w as u64 - c as u64)) & 1) as u32,
+                )
             } else {
                 let sh = wide >> c;
-                ((sh & mask(size) as u64) as u32, ((wide >> (c - 1)) & 1) as u32)
+                (
+                    (sh & mask(size) as u64) as u32,
+                    ((wide >> (c - 1)) & 1) as u32,
+                )
             };
             t[out as usize] = res;
             let of = ((res >> (w - 1)) & 1) ^ ((a >> (w - 1)) & 1);
@@ -664,7 +771,8 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                     let dividend: u64 = if size == 1 {
                         read_reg(&core.m, 0, 2) as u64
                     } else {
-                        ((read_reg(&core.m, 2, size) as u64) << w) | read_reg(&core.m, 0, size) as u64
+                        ((read_reg(&core.m, 2, size) as u64) << w)
+                            | read_reg(&core.m, 0, size) as u64
                     };
                     let (q, r) = if g == 6 {
                         let q = dividend / v;
@@ -714,17 +822,32 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             set_status(&mut core.m, status, fl::STATUS);
             Ok(HelperExit::Continue)
         }
-        Helper::CmpxchgMem { size, seg, addr, src_reg } => {
+        Helper::CmpxchgMem {
+            size,
+            seg,
+            addr,
+            src_reg,
+        } => {
             let a = t[addr as usize];
             let dest = core.vread(seg, a, size)?;
             let acc = read_reg(&core.m, 0, size);
             let equal = acc == dest;
             let diff = acc.wrapping_sub(dest);
-            core.m.cc =
-                CcState { op: CcOp::Sub, size, dst: diff & mask(size), src1: acc, src2: dest, src3: 0 };
+            core.m.cc = CcState {
+                op: CcOp::Sub,
+                size,
+                dst: diff & mask(size),
+                src1: acc,
+                src2: dest,
+                src3: 0,
+            };
             if core.fid.atomic_cmpxchg {
                 // Fixed ordering: write check first, then accumulator.
-                let newv = if equal { read_reg(&core.m, src_reg, size) } else { dest };
+                let newv = if equal {
+                    read_reg(&core.m, src_reg, size)
+                } else {
+                    dest
+                };
                 core.vwrite(seg, a, newv, size)?;
                 if !equal {
                     write_reg(&mut core.m, 0, size, dest);
@@ -735,7 +858,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                 if !equal {
                     write_reg(&mut core.m, 0, size, dest);
                 }
-                let newv = if equal { read_reg(&core.m, src_reg, size) } else { dest };
+                let newv = if equal {
+                    read_reg(&core.m, src_reg, size)
+                } else {
+                    dest
+                };
                 core.vwrite(seg, a, newv, size)?;
             }
             Ok(HelperExit::Continue)
@@ -745,8 +872,14 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             let acc = read_reg(&core.m, 0, size);
             let equal = acc == dest;
             let diff = acc.wrapping_sub(dest);
-            core.m.cc =
-                CcState { op: CcOp::Sub, size, dst: diff & mask(size), src1: acc, src2: dest, src3: 0 };
+            core.m.cc = CcState {
+                op: CcOp::Sub,
+                size,
+                dst: diff & mask(size),
+                src1: acc,
+                src2: dest,
+                src3: 0,
+            };
             if equal {
                 let v = read_reg(&core.m, src_reg, size);
                 write_reg(&mut core.m, rm, size, v);
@@ -755,7 +888,14 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             }
             Ok(HelperExit::Continue)
         }
-        Helper::BitOpMem { action, size, seg, addr, bitoff, reg_offset } => {
+        Helper::BitOpMem {
+            action,
+            size,
+            seg,
+            addr,
+            bitoff,
+            reg_offset,
+        } => {
             let w = (size * 8) as u32;
             let off = t[bitoff as usize];
             let base = t[addr as usize];
@@ -778,10 +918,19 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                 core.vwrite(seg, a, nv, size)?;
             }
             let old = core.m.eflags() & fl::STATUS;
-            set_status(&mut core.m, (old & !(1 << fl::CF)) | (cf << fl::CF), fl::STATUS);
+            set_status(
+                &mut core.m,
+                (old & !(1 << fl::CF)) | (cf << fl::CF),
+                fl::STATUS,
+            );
             Ok(HelperExit::Continue)
         }
-        Helper::BitOpReg { action, size, rm, bitoff } => {
+        Helper::BitOpReg {
+            action,
+            size,
+            rm,
+            bitoff,
+        } => {
             let w = (size * 8) as u32;
             let bit = t[bitoff as usize] & (w - 1);
             let v = read_reg(&core.m, rm, size);
@@ -796,10 +945,19 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                 write_reg(&mut core.m, rm, size, nv);
             }
             let old = core.m.eflags() & fl::STATUS;
-            set_status(&mut core.m, (old & !(1 << fl::CF)) | (cf << fl::CF), fl::STATUS);
+            set_status(
+                &mut core.m,
+                (old & !(1 << fl::CF)) | (cf << fl::CF),
+                fl::STATUS,
+            );
             Ok(HelperExit::Continue)
         }
-        Helper::BsfBsr { forward, size, src, dst_reg } => {
+        Helper::BsfBsr {
+            forward,
+            size,
+            src,
+            dst_reg,
+        } => {
             let v = t[src as usize] & mask(size);
             let mut status = core.m.eflags() & fl::STATUS;
             if v == 0 {
@@ -809,7 +967,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                 write_reg(&mut core.m, dst_reg, size, 0);
             } else {
                 status &= !(1 << fl::ZF);
-                let pos = if forward { v.trailing_zeros() } else { 31 - v.leading_zeros() };
+                let pos = if forward {
+                    v.trailing_zeros()
+                } else {
+                    31 - v.leading_zeros()
+                };
                 write_reg(&mut core.m, dst_reg, size, pos);
             }
             set_status(&mut core.m, status, fl::STATUS);
@@ -819,7 +981,12 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             helper_bcd(core, opcode, imm)?;
             Ok(HelperExit::Continue)
         }
-        Helper::StringOp { opcode, size, rep, seg } => {
+        Helper::StringOp {
+            opcode,
+            size,
+            rep,
+            seg,
+        } => {
             helper_string(core, opcode, size, rep, seg)?;
             Ok(HelperExit::Continue)
         }
@@ -850,7 +1017,12 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             core.m.gpr[4] = esp.wrapping_add(2 * size as u32).wrapping_add(extra as u32);
             Ok(HelperExit::Jump(eip_v & mask(size)))
         }
-        Helper::FarXfer { call, sel, off, size } => {
+        Helper::FarXfer {
+            call,
+            sel,
+            off,
+            size,
+        } => {
             let sel_v = t[sel as usize] as u16;
             let off_v = t[off as usize] & mask(size);
             let old_cs = core.m.segs[Seg::Cs as usize].selector as u32;
@@ -878,7 +1050,12 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             core.m.gpr[4] = core.m.gpr[4].wrapping_sub(alloc as u32);
             Ok(HelperExit::Continue)
         }
-        Helper::Bound { size, reg, addr, seg } => {
+        Helper::Bound {
+            size,
+            reg,
+            addr,
+            seg,
+        } => {
             let idx = read_reg(&core.m, reg, size);
             let a = t[addr as usize];
             let lower = core.vread(seg, a, size)?;
@@ -896,7 +1073,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             let adjusted = (d & 3) < (s & 3);
             t[out as usize] = if adjusted { (d & !3) | (s & 3) } else { d };
             let old = core.m.eflags() & fl::STATUS;
-            let status = if adjusted { old | (1 << fl::ZF) } else { old & !(1 << fl::ZF) };
+            let status = if adjusted {
+                old | (1 << fl::ZF)
+            } else {
+                old & !(1 << fl::ZF)
+            };
             set_status(&mut core.m, status, fl::STATUS);
             Ok(HelperExit::Continue)
         }
@@ -942,7 +1123,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             let a = t[addr as usize];
             match which {
                 0 | 1 => {
-                    let (base, limit) = if which == 0 { (core.m.gdtr.0, core.m.gdtr.1) } else { (core.m.idtr.0, core.m.idtr.1) };
+                    let (base, limit) = if which == 0 {
+                        (core.m.gdtr.0, core.m.gdtr.1)
+                    } else {
+                        (core.m.idtr.0, core.m.idtr.1)
+                    };
                     core.vwrite(seg, a, limit as u32, 2)?;
                     core.vwrite(seg, a.wrapping_add(2), base, 4)?;
                 }
@@ -1027,7 +1212,12 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             }
             Ok(HelperExit::Continue)
         }
-        Helper::LarLsl { is_lsl, sel, dst_reg, size } => {
+        Helper::LarLsl {
+            is_lsl,
+            sel,
+            dst_reg,
+            size,
+        } => {
             let sel_v = t[sel as usize] as u16;
             let r = helper_desc_query(core, sel_v)?;
             let mut status = core.m.eflags() & fl::STATUS;
@@ -1067,8 +1257,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
                 }
             };
             let old = core.m.eflags() & fl::STATUS;
-            let status =
-                if ok { old | (1 << fl::ZF) } else { old & !(1 << fl::ZF) };
+            let status = if ok {
+                old | (1 << fl::ZF)
+            } else {
+                old & !(1 << fl::ZF)
+            };
             set_status(&mut core.m, status, fl::STATUS);
             Ok(HelperExit::Continue)
         }
@@ -1096,7 +1289,11 @@ fn run_helper(core: &mut Core, h: Helper, t: &mut [u32; 256]) -> Result<HelperEx
             if cpl > iopl {
                 return Err(Exception::Gp(0));
             }
-            let nf = if enable { f | (1 << fl::IF) } else { f & !(1 << fl::IF) };
+            let nf = if enable {
+                f | (1 << fl::IF)
+            } else {
+                f & !(1 << fl::IF)
+            };
             core.m.set_eflags(nf);
             Ok(HelperExit::Continue)
         }
@@ -1162,10 +1359,18 @@ fn helper_bcd(core: &mut Core, opcode: u16, imm: u8) -> Result<(), Exception> {
             let adjust_hi = al > 0x99 || cf_in;
             let mut v = al;
             if adjust_lo {
-                v = if is_add { v.wrapping_add(6) } else { v.wrapping_sub(6) } & 0xff;
+                v = if is_add {
+                    v.wrapping_add(6)
+                } else {
+                    v.wrapping_sub(6)
+                } & 0xff;
             }
             if adjust_hi {
-                v = if is_add { v.wrapping_add(0x60) } else { v.wrapping_sub(0x60) } & 0xff;
+                v = if is_add {
+                    v.wrapping_add(0x60)
+                } else {
+                    v.wrapping_sub(0x60)
+                } & 0xff;
             }
             write_reg(&mut core.m, 0, 1, v);
             let mut status = status_of(v, 1);
@@ -1191,7 +1396,11 @@ fn helper_bcd(core: &mut Core, opcode: u16, imm: u8) -> Result<(), Exception> {
             };
             write_reg(&mut core.m, 0, 1, nal);
             write_reg(&mut core.m, 4, 1, nah);
-            let status = if adjust { (1 << fl::CF) | (1 << fl::AF) } else { 0 };
+            let status = if adjust {
+                (1 << fl::CF) | (1 << fl::AF)
+            } else {
+                0
+            };
             set_status(&mut core.m, status, fl::STATUS);
         }
         0xd4 => {
@@ -1228,7 +1437,11 @@ fn helper_string(
             break;
         }
         let df = core.m.eflags() & (1 << fl::DF) != 0;
-        let delta = if df { (size as u32).wrapping_neg() } else { size as u32 };
+        let delta = if df {
+            (size as u32).wrapping_neg()
+        } else {
+            size as u32
+        };
         let esi = core.m.gpr[6];
         let edi = core.m.gpr[7];
         match opcode {
@@ -1242,7 +1455,14 @@ fn helper_string(
                 let a = core.vread(seg, esi, size)?;
                 let b = core.vread(Seg::Es, edi, size)?;
                 let diff = a.wrapping_sub(b);
-                core.m.cc = CcState { op: CcOp::Sub, size, dst: diff & mask(size), src1: a, src2: b, src3: 0 };
+                core.m.cc = CcState {
+                    op: CcOp::Sub,
+                    size,
+                    dst: diff & mask(size),
+                    src1: a,
+                    src2: b,
+                    src3: 0,
+                };
                 core.m.gpr[6] = esi.wrapping_add(delta);
                 core.m.gpr[7] = edi.wrapping_add(delta);
             }
@@ -1260,7 +1480,14 @@ fn helper_string(
                 let a = read_reg(&core.m, 0, size);
                 let b = core.vread(Seg::Es, edi, size)?;
                 let diff = a.wrapping_sub(b);
-                core.m.cc = CcState { op: CcOp::Sub, size, dst: diff & mask(size), src1: a, src2: b, src3: 0 };
+                core.m.cc = CcState {
+                    op: CcOp::Sub,
+                    size,
+                    dst: diff & mask(size),
+                    src1: a,
+                    src2: b,
+                    src3: 0,
+                };
                 core.m.gpr[7] = edi.wrapping_add(delta);
             }
         }

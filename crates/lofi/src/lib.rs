@@ -59,9 +59,10 @@ impl RunExit {
     pub fn outcome(self) -> Outcome {
         match self {
             RunExit::Halted => Outcome::Halted,
-            RunExit::Exception(e) => {
-                Outcome::Exception { vector: e.vector(), error: e.error_code() }
-            }
+            RunExit::Exception(e) => Outcome::Exception {
+                vector: e.vector(),
+                error: e.error_code(),
+            },
             RunExit::StepLimit => Outcome::Timeout,
         }
     }
@@ -206,10 +207,19 @@ impl Lofi {
     /// Snapshots the guest into the common comparison format (§5.1).
     pub fn snapshot(&self, exit: RunExit) -> Snapshot {
         let m = &self.core.m;
-        let mut segs = [SegSnapshot { selector: 0, base: 0, limit: 0, attrs: 0 }; 6];
+        let mut segs = [SegSnapshot {
+            selector: 0,
+            base: 0,
+            limit: 0,
+            attrs: 0,
+        }; 6];
         for (i, s) in m.segs.iter().enumerate() {
-            segs[i] =
-                SegSnapshot { selector: s.selector, base: s.base, limit: s.limit, attrs: s.attrs };
+            segs[i] = SegSnapshot {
+                selector: s.selector,
+                base: s.base,
+                limit: s.limit,
+                attrs: s.attrs,
+            };
         }
         let mut mem = std::collections::BTreeMap::new();
         for (addr, &b) in m.ram.iter().enumerate() {
@@ -248,7 +258,10 @@ mod tests {
                 selector: ((i as u16) + 1) << 3,
                 base: 0,
                 limit: 0xffff_ffff,
-                attrs: typ | (1 << attrs::S as u16) | (1 << attrs::P as u16) | (1 << attrs::DB as u16),
+                attrs: typ
+                    | (1 << attrs::S as u16)
+                    | (1 << attrs::P as u16)
+                    | (1 << attrs::DB as u16),
             };
         }
         m.gpr[4] = 0x7000;
@@ -285,11 +298,20 @@ mod tests {
         // mov byte [0x1100], 0x42 ; jmp 0x1100 — the target page was
         // translated already by the first block, then written.
         // At 0x1100: initially hlt (0xf4); overwritten with inc edx (0x42).
-        emu.load_image(0x1000, &[0xc6, 0x05, 0x00, 0x11, 0x00, 0x00, 0x42, 0xe9, 0xf4, 0x00, 0x00, 0x00]);
+        emu.load_image(
+            0x1000,
+            &[
+                0xc6, 0x05, 0x00, 0x11, 0x00, 0x00, 0x42, 0xe9, 0xf4, 0x00, 0x00, 0x00,
+            ],
+        );
         emu.load_image(0x1100, &[0xf4, 0xf4]);
         let exit = emu.run(16);
         assert_eq!(exit, RunExit::Halted);
-        assert_eq!(emu.machine().gpr[2], 1, "must execute the rewritten inc edx");
+        assert_eq!(
+            emu.machine().gpr[2],
+            1,
+            "must execute the rewritten inc edx"
+        );
     }
 
     #[test]
@@ -297,17 +319,28 @@ mod tests {
         let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
         flat(&mut emu);
         emu.machine_mut().segs[3].limit = 0x10; // tiny DS
-        // mov [0x2000], al ; hlt — far beyond the DS limit.
+                                                // mov [0x2000], al ; hlt — far beyond the DS limit.
         emu.load_image(0x1000, &[0xa2, 0x00, 0x20, 0x00, 0x00, 0xf4]);
         let exit = emu.run(16);
-        assert_eq!(exit, RunExit::Halted, "Lo-Fi fast path skips the limit check");
+        assert_eq!(
+            exit,
+            RunExit::Halted,
+            "Lo-Fi fast path skips the limit check"
+        );
 
-        let mut emu = Lofi::new(Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE });
+        let mut emu = Lofi::new(Fidelity {
+            enforce_segment_checks: true,
+            ..Fidelity::QEMU_LIKE
+        });
         flat(&mut emu);
         emu.machine_mut().segs[3].limit = 0x10;
         emu.load_image(0x1000, &[0xa2, 0x00, 0x20, 0x00, 0x00, 0xf4]);
         let exit = emu.run(16);
-        assert_eq!(exit, RunExit::Exception(Exception::Gp(0)), "fixed build enforces it");
+        assert_eq!(
+            exit,
+            RunExit::Exception(Exception::Gp(0)),
+            "fixed build enforces it"
+        );
     }
 
     #[test]
@@ -317,7 +350,10 @@ mod tests {
         emu.load_image(0x1000, &[0xd6, 0xf4]); // salc
         assert_eq!(emu.run(4), RunExit::Exception(Exception::Ud));
 
-        let mut emu = Lofi::new(Fidelity { accept_undocumented: true, ..Fidelity::QEMU_LIKE });
+        let mut emu = Lofi::new(Fidelity {
+            accept_undocumented: true,
+            ..Fidelity::QEMU_LIKE
+        });
         flat(&mut emu);
         // stc; salc; hlt — with acceptance on, salc runs: AL = CF ? 0xff : 0.
         emu.load_image(0x1000, &[0xf9, 0xd6, 0xf4]);

@@ -100,7 +100,13 @@ pub fn seg_linear(
 ) -> Result<u32, Exception> {
     let s = &m.segs[seg as usize];
     if fid.enforce_segment_checks {
-        let fault = || if seg == Seg::Ss { Exception::Ss(0) } else { Exception::Gp(0) };
+        let fault = || {
+            if seg == Seg::Ss {
+                Exception::Ss(0)
+            } else {
+                Exception::Gp(0)
+            }
+        };
         let attrs = s.attrs;
         if attrs & (1 << 7) == 0 {
             return Err(fault()); // not present
@@ -199,7 +205,8 @@ fn walk(
             new_pde |= 1 << 6;
         }
         m.phys_write(pde_addr, new_pde, 4);
-        tlb.table_pages.insert((pde_addr % pokemu_isa::state::PHYS_MEM_SIZE) >> 12);
+        tlb.table_pages
+            .insert((pde_addr % pokemu_isa::state::PHYS_MEM_SIZE) >> 12);
         let phys = (pde & 0xffc0_0000) | (lin & 0x3f_ffff);
         tlb.entries.insert(
             lin >> 12,
@@ -229,12 +236,19 @@ fn walk(
         new_pte |= 1 << 6;
     }
     m.phys_write(pte_addr, new_pte, 4);
-    tlb.table_pages.insert((pde_addr % pokemu_isa::state::PHYS_MEM_SIZE) >> 12);
-    tlb.table_pages.insert((pte_addr % pokemu_isa::state::PHYS_MEM_SIZE) >> 12);
+    tlb.table_pages
+        .insert((pde_addr % pokemu_isa::state::PHYS_MEM_SIZE) >> 12);
+    tlb.table_pages
+        .insert((pte_addr % pokemu_isa::state::PHYS_MEM_SIZE) >> 12);
     let phys = (pte & 0xffff_f000) | (lin & 0xfff);
     tlb.entries.insert(
         lin >> 12,
-        TlbEntry { phys_page: phys >> 12, writable: rw, user: us, dirty: kind == Access::Write },
+        TlbEntry {
+            phys_page: phys >> 12,
+            writable: rw,
+            user: us,
+            dirty: kind == Access::Write,
+        },
     );
     Ok(phys)
 }
@@ -307,12 +321,7 @@ pub fn write(
 /// # Errors
 ///
 /// #PF from the page walk.
-pub fn lin_read(
-    m: &mut LofiMachine,
-    tlb: &mut Tlb,
-    lin: u32,
-    len: u8,
-) -> Result<u32, Exception> {
+pub fn lin_read(m: &mut LofiMachine, tlb: &mut Tlb, lin: u32, len: u8) -> Result<u32, Exception> {
     let (p0, p1) = translate_span(m, tlb, lin, len, Access::Read)?;
     let mut v = 0u32;
     for i in 0..len {
@@ -414,7 +423,10 @@ mod tests {
         // Write far past the limit: the Lo-Fi fast path allows it.
         assert!(write(&mut m, &mut Tlb::default(), &fid, Seg::Ds, 0x5000, 0xff, 1).is_ok());
         // With the fix, it faults like the reference.
-        let fid = Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE };
+        let fid = Fidelity {
+            enforce_segment_checks: true,
+            ..Fidelity::QEMU_LIKE
+        };
         assert_eq!(
             write(&mut m, &mut Tlb::default(), &fid, Seg::Ds, 0x5000, 0xff, 1),
             Err(Exception::Gp(0))

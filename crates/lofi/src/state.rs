@@ -108,7 +108,14 @@ pub struct CcState {
 
 impl Default for CcState {
     fn default() -> Self {
-        CcState { op: CcOp::Flags, size: 4, dst: 0, src1: 0, src2: 0, src3: 0 }
+        CcState {
+            op: CcOp::Flags,
+            size: 4,
+            dst: 0,
+            src1: 0,
+            src2: 0,
+            src3: 0,
+        }
     }
 }
 
@@ -139,7 +146,11 @@ impl CcState {
             CcOp::Flags => self.dst & fl::STATUS,
             CcOp::Logic => common(d),
             CcOp::Add | CcOp::Adc => {
-                let cin = if self.op == CcOp::Adc { self.src3 & 1 } else { 0 };
+                let cin = if self.op == CcOp::Adc {
+                    self.src3 & 1
+                } else {
+                    0
+                };
                 let full = (s1 as u64) + (s2 as u64) + cin as u64;
                 let cf = ((full >> (size * 8)) & 1) as u32;
                 let of = msb((s1 ^ d) & (s2 ^ d), size);
@@ -147,7 +158,11 @@ impl CcState {
                 common(d) | set(fl::CF, cf) | set(fl::OF, of) | set(fl::AF, af)
             }
             CcOp::Sub | CcOp::Sbb => {
-                let bin = if self.op == CcOp::Sbb { self.src3 & 1 } else { 0 };
+                let bin = if self.op == CcOp::Sbb {
+                    self.src3 & 1
+                } else {
+                    0
+                };
                 let cf = (((s1 as u64) < (s2 as u64 + bin as u64)) as u32) & 1;
                 let of = msb((s1 ^ s2) & (s1 ^ d), size);
                 let af = ((s1 ^ s2 ^ d) >> 4) & 1;
@@ -250,7 +265,14 @@ impl LofiMachine {
     /// Replaces the full EFLAGS value (commits lazily-held status bits).
     pub fn set_eflags(&mut self, v: u32) {
         self.eflags_other = (v & !fl::STATUS) | fl::FIXED_ONE;
-        self.cc = CcState { op: CcOp::Flags, size: 4, dst: v & fl::STATUS, src1: 0, src2: 0, src3: 0 };
+        self.cc = CcState {
+            op: CcOp::Flags,
+            size: 4,
+            dst: v & fl::STATUS,
+            src1: 0,
+            src2: 0,
+            src3: 0,
+        };
     }
 
     /// Current privilege level (CS cache DPL).
@@ -283,7 +305,14 @@ mod tests {
 
     #[test]
     fn lazy_add_flags_match_expectations() {
-        let cc = CcState { op: CcOp::Add, size: 1, dst: 0, src1: 0xff, src2: 1, src3: 0 };
+        let cc = CcState {
+            op: CcOp::Add,
+            size: 1,
+            dst: 0,
+            src1: 0xff,
+            src2: 1,
+            src3: 0,
+        };
         let f = cc.materialize();
         assert_ne!(f & (1 << fl::CF), 0);
         assert_ne!(f & (1 << fl::ZF), 0);
@@ -293,7 +322,14 @@ mod tests {
 
     #[test]
     fn lazy_sub_borrow() {
-        let cc = CcState { op: CcOp::Sub, size: 4, dst: 1u32.wrapping_sub(2), src1: 1, src2: 2, src3: 0 };
+        let cc = CcState {
+            op: CcOp::Sub,
+            size: 4,
+            dst: 1u32.wrapping_sub(2),
+            src1: 1,
+            src2: 2,
+            src3: 0,
+        };
         let f = cc.materialize();
         assert_ne!(f & (1 << fl::CF), 0);
         assert_ne!(f & (1 << fl::SF), 0);
@@ -302,7 +338,14 @@ mod tests {
 
     #[test]
     fn inc_preserves_cf() {
-        let cc = CcState { op: CcOp::Inc, size: 4, dst: 0x80000000, src1: 1, src2: 0, src3: 0 };
+        let cc = CcState {
+            op: CcOp::Inc,
+            size: 4,
+            dst: 0x80000000,
+            src1: 1,
+            src2: 0,
+            src3: 0,
+        };
         let f = cc.materialize();
         assert_ne!(f & (1 << fl::CF), 0, "CF carried through");
         assert_ne!(f & (1 << fl::OF), 0, "0x7fffffff + 1 overflows");

@@ -62,7 +62,13 @@ impl Emit {
 
     fn alu(&mut self, op: AluKind, size: u8, a: T, b: T) -> T {
         let dst = self.t();
-        self.push(Uop::Alu { op, size, dst, a, b });
+        self.push(Uop::Alu {
+            op,
+            size,
+            dst,
+            a,
+            b,
+        });
         dst
     }
 
@@ -86,7 +92,12 @@ impl Emit {
         if mr.mem.is_some() {
             let (seg, addr) = self.ea(inst);
             let dst = self.t();
-            self.push(Uop::Ld { dst, seg, addr, size });
+            self.push(Uop::Ld {
+                dst,
+                seg,
+                addr,
+                size,
+            });
             (dst, Some((seg, addr)))
         } else {
             (self.read_reg(mr.rm, size), None)
@@ -97,13 +108,27 @@ impl Emit {
     fn write_rm(&mut self, inst: &Inst<CVal>, size: u8, src: T, addr: Option<(Seg, T)>) {
         let mr = inst.modrm.as_ref().expect("modrm");
         match addr {
-            Some((seg, a)) => self.push(Uop::St { seg, addr: a, src, size }),
+            Some((seg, a)) => self.push(Uop::St {
+                seg,
+                addr: a,
+                src,
+                size,
+            }),
             None => {
                 if mr.mem.is_some() {
                     let (seg, a) = self.ea(inst);
-                    self.push(Uop::St { seg, addr: a, src, size });
+                    self.push(Uop::St {
+                        seg,
+                        addr: a,
+                        src,
+                        size,
+                    });
                 } else {
-                    self.push(Uop::WriteReg { reg: mr.rm, size, src });
+                    self.push(Uop::WriteReg {
+                        reg: mr.rm,
+                        size,
+                        src,
+                    });
                 }
             }
         }
@@ -114,25 +139,47 @@ impl Emit {
         let esp = self.read_reg(Gpr::Esp as u8, 4);
         let k = self.konst(size as u32);
         let nesp = self.alu(AluKind::Sub, 4, esp, k);
-        self.push(Uop::St { seg: Seg::Ss, addr: nesp, src, size });
-        self.push(Uop::WriteReg { reg: Gpr::Esp as u8, size: 4, src: nesp });
+        self.push(Uop::St {
+            seg: Seg::Ss,
+            addr: nesp,
+            src,
+            size,
+        });
+        self.push(Uop::WriteReg {
+            reg: Gpr::Esp as u8,
+            size: 4,
+            src: nesp,
+        });
     }
 
     /// pop pattern: load from esp, commit esp, return the value temp.
     fn pop_t(&mut self, size: u8) -> T {
         let esp = self.read_reg(Gpr::Esp as u8, 4);
         let dst = self.t();
-        self.push(Uop::Ld { dst, seg: Seg::Ss, addr: esp, size });
+        self.push(Uop::Ld {
+            dst,
+            seg: Seg::Ss,
+            addr: esp,
+            size,
+        });
         let k = self.konst(size as u32);
         let nesp = self.alu(AluKind::Add, 4, esp, k);
-        self.push(Uop::WriteReg { reg: Gpr::Esp as u8, size: 4, src: nesp });
+        self.push(Uop::WriteReg {
+            reg: Gpr::Esp as u8,
+            size: 4,
+            src: nesp,
+        });
         dst
     }
 
     /// `dst = (a != 0) ? 1 : 0` for 32-bit temps.
     fn nonzero(&mut self, a: T) -> T {
         let neg = self.t();
-        self.push(Uop::Neg { dst: neg, a, size: 4 });
+        self.push(Uop::Neg {
+            dst: neg,
+            a,
+            size: 4,
+        });
         let or = self.alu(AluKind::Or, 4, a, neg);
         let k = self.konst(31);
         self.alu(AluKind::Shr, 4, or, k)
@@ -158,7 +205,10 @@ pub fn translate_block(
     max_insns: u32,
 ) -> Result<Tb, Exception> {
     let start = eip;
-    let mut e = Emit { uops: Vec::new(), next_t: 0 };
+    let mut e = Emit {
+        uops: Vec::new(),
+        next_t: 0,
+    };
     let mut cur = eip;
     let mut insns = 0u32;
     while insns < max_insns {
@@ -190,7 +240,12 @@ pub fn translate_block(
             break;
         }
     }
-    Ok(Tb { start, end: cur, uops: e.uops, insns })
+    Ok(Tb {
+        start,
+        end: cur,
+        uops: e.uops,
+        insns,
+    })
 }
 
 /// Translates one instruction. Returns `true` when the block must end
@@ -211,8 +266,14 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
 
     match op {
         // ---- ALU families ----
-        0x00..=0x05 | 0x08..=0x0d | 0x10..=0x15 | 0x18..=0x1d | 0x20..=0x25 | 0x28..=0x2d
-        | 0x30..=0x35 | 0x38..=0x3d => {
+        0x00..=0x05
+        | 0x08..=0x0d
+        | 0x10..=0x15
+        | 0x18..=0x1d
+        | 0x20..=0x25
+        | 0x28..=0x2d
+        | 0x30..=0x35
+        | 0x38..=0x3d => {
             let alu_op = ((op >> 3) & 7) as u8;
             let enc = (op & 7) as u8;
             let size = if matches!(enc, 0 | 2 | 4) { 1 } else { opsize };
@@ -232,7 +293,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                     let a = e.read_reg(mr.reg, size);
                     let (res, wb) = emit_alu(e, alu_op, size, a, b);
                     if wb {
-                        e.push(Uop::WriteReg { reg: mr.reg, size, src: res });
+                        e.push(Uop::WriteReg {
+                            reg: mr.reg,
+                            size,
+                            src: res,
+                        });
                     }
                 }
                 _ => {
@@ -240,7 +305,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                     let b = e.konst(cval(inst.imm.expect("imm")));
                     let (res, wb) = emit_alu(e, alu_op, size, a, b);
                     if wb {
-                        e.push(Uop::WriteReg { reg: Gpr::Eax as u8, size, src: res });
+                        e.push(Uop::WriteReg {
+                            reg: Gpr::Eax as u8,
+                            size,
+                            src: res,
+                        });
                     }
                 }
             }
@@ -272,7 +341,13 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 (a, e.konst(cval(inst.imm.expect("imm"))))
             };
             let res = e.alu(AluKind::And, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Logic, size, dst: res, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Logic,
+                size,
+                dst: res,
+                a,
+                b,
+            });
             false
         }
         0xf6 | 0xf7 => translate_f6(e, inst),
@@ -289,13 +364,27 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             } else {
                 e.alu(AluKind::Sub, size, a, one)
             };
-            e.push(Uop::WriteReg { reg, size, src: res });
+            e.push(Uop::WriteReg {
+                reg,
+                size,
+                src: res,
+            });
             let cc = if op < 0x48 { CcKind::Inc } else { CcKind::Dec };
-            e.push(Uop::SetCc { cc, size, dst: res, a: cf, b: cf });
+            e.push(Uop::SetCc {
+                cc,
+                size,
+                dst: res,
+                a: cf,
+                b: cf,
+            });
             false
         }
         0xc0 | 0xc1 | 0xd0 | 0xd1 | 0xd2 | 0xd3 => {
-            let size = if matches!(op, 0xc0 | 0xd0 | 0xd2) { 1 } else { opsize };
+            let size = if matches!(op, 0xc0 | 0xd0 | 0xd2) {
+                1
+            } else {
+                opsize
+            };
             let g = inst.class.group_reg.expect("group");
             let (val, addr) = e.read_rm(inst, size);
             let count = match op {
@@ -304,7 +393,13 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 _ => e.read_reg(Gpr::Ecx as u8, 1),
             };
             let out = e.t();
-            e.push(Uop::Helper(Helper::Shift { g, size, val, count, out }));
+            e.push(Uop::Helper(Helper::Shift {
+                g,
+                size,
+                val,
+                count,
+                out,
+            }));
             e.write_rm(inst, size, out, addr);
             false
         }
@@ -322,7 +417,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             };
             let out = e.t();
             e.push(Uop::Helper(Helper::Imul2 { size, a, b, out }));
-            e.push(Uop::WriteReg { reg: mr.reg, size, src: out });
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size,
+                src: out,
+            });
             false
         }
         0x0fa4 | 0x0fa5 | 0x0fac | 0x0fad => {
@@ -337,7 +436,14 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 e.read_reg(Gpr::Ecx as u8, 1)
             };
             let out = e.t();
-            e.push(Uop::Helper(Helper::ShiftD { left, size, dst, src, count, out }));
+            e.push(Uop::Helper(Helper::ShiftD {
+                left,
+                size,
+                dst,
+                src,
+                count,
+                out,
+            }));
             e.write_rm(inst, size, out, addr);
             false
         }
@@ -358,9 +464,21 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             };
             if mr.mem.is_some() {
                 let (seg, addr) = e.ea(inst);
-                e.push(Uop::Helper(Helper::BitOpMem { action, size, seg, addr, bitoff, reg_offset }));
+                e.push(Uop::Helper(Helper::BitOpMem {
+                    action,
+                    size,
+                    seg,
+                    addr,
+                    bitoff,
+                    reg_offset,
+                }));
             } else {
-                e.push(Uop::Helper(Helper::BitOpReg { action, size, rm: mr.rm, bitoff }));
+                e.push(Uop::Helper(Helper::BitOpReg {
+                    action,
+                    size,
+                    rm: mr.rm,
+                    bitoff,
+                }));
             }
             false
         }
@@ -381,9 +499,18 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let mr = inst.modrm.as_ref().expect("modrm");
             if mr.mem.is_some() {
                 let (seg, addr) = e.ea(inst);
-                e.push(Uop::Helper(Helper::CmpxchgMem { size, seg, addr, src_reg: mr.reg }));
+                e.push(Uop::Helper(Helper::CmpxchgMem {
+                    size,
+                    seg,
+                    addr,
+                    src_reg: mr.reg,
+                }));
             } else {
-                e.push(Uop::Helper(Helper::CmpxchgReg { size, rm: mr.rm, src_reg: mr.reg }));
+                e.push(Uop::Helper(Helper::CmpxchgReg {
+                    size,
+                    rm: mr.rm,
+                    src_reg: mr.reg,
+                }));
             }
             false
         }
@@ -394,8 +521,18 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let src = e.read_reg(mr.reg, size);
             let sum = e.alu(AluKind::Add, size, dst, src);
             e.write_rm(inst, size, sum, addr);
-            e.push(Uop::WriteReg { reg: mr.reg, size, src: dst });
-            e.push(Uop::SetCc { cc: CcKind::Add, size, dst: sum, a: dst, b: src });
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size,
+                src: dst,
+            });
+            e.push(Uop::SetCc {
+                cc: CcKind::Add,
+                size,
+                dst: sum,
+                a: dst,
+                b: src,
+            });
             false
         }
         0x0fc8..=0x0fcf => {
@@ -403,7 +540,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let a = e.read_reg(reg, 4);
             let dst = e.t();
             e.push(Uop::Bswap { dst, a });
-            e.push(Uop::WriteReg { reg, size: 4, src: dst });
+            e.push(Uop::WriteReg {
+                reg,
+                size: 4,
+                src: dst,
+            });
             false
         }
         0x27 | 0x2f | 0x37 | 0x3f | 0xd4 | 0xd5 => {
@@ -419,13 +560,27 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             if op == 0x98 {
                 let half = e.read_reg(Gpr::Eax as u8, opsize / 2);
                 let dst = e.t();
-                e.push(Uop::Ext { dst, a: half, from: opsize / 2, to: opsize, signed: true });
-                e.push(Uop::WriteReg { reg: Gpr::Eax as u8, size: opsize, src: dst });
+                e.push(Uop::Ext {
+                    dst,
+                    a: half,
+                    from: opsize / 2,
+                    to: opsize,
+                    signed: true,
+                });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Eax as u8,
+                    size: opsize,
+                    src: dst,
+                });
             } else {
                 let acc = e.read_reg(Gpr::Eax as u8, opsize);
                 let k = e.konst((opsize * 8 - 1) as u32);
                 let hi = e.alu(AluKind::Sar, opsize, acc, k);
-                e.push(Uop::WriteReg { reg: Gpr::Edx as u8, size: opsize, src: hi });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Edx as u8,
+                    size: opsize,
+                    src: hi,
+                });
             }
             false
         }
@@ -436,8 +591,18 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let dst = e.t();
             let signed = matches!(op, 0x0fbe | 0x0fbf);
             let to = opsize.max(src_size);
-            e.push(Uop::Ext { dst, a: v, from: src_size, to, signed });
-            e.push(Uop::WriteReg { reg: mr.reg, size: opsize, src: dst });
+            e.push(Uop::Ext {
+                dst,
+                a: v,
+                from: src_size,
+                to,
+                signed,
+            });
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size: opsize,
+                src: dst,
+            });
             false
         }
         0x0f90..=0x0f9f => {
@@ -455,8 +620,17 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             e.push(Uop::TestCc { dst: cond, cc });
             let old = e.read_reg(mr.reg, opsize);
             let out = e.t();
-            e.push(Uop::Select { dst: out, cond, a: src, b: old });
-            e.push(Uop::WriteReg { reg: mr.reg, size: opsize, src: out });
+            e.push(Uop::Select {
+                dst: out,
+                cond,
+                a: src,
+                b: old,
+            });
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size: opsize,
+                src: out,
+            });
             false
         }
 
@@ -472,7 +646,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let size = if op == 0x8a { 1 } else { opsize };
             let mr = inst.modrm.as_ref().expect("modrm");
             let (v, _) = e.read_rm(inst, size);
-            e.push(Uop::WriteReg { reg: mr.reg, size, src: v });
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size,
+                src: v,
+            });
             false
         }
         0xa0 | 0xa1 => {
@@ -480,8 +658,17 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let seg = inst.seg_override.unwrap_or(Seg::Ds);
             let addr = e.konst(cval(inst.imm.expect("moffs")));
             let dst = e.t();
-            e.push(Uop::Ld { dst, seg, addr, size });
-            e.push(Uop::WriteReg { reg: Gpr::Eax as u8, size, src: dst });
+            e.push(Uop::Ld {
+                dst,
+                seg,
+                addr,
+                size,
+            });
+            e.push(Uop::WriteReg {
+                reg: Gpr::Eax as u8,
+                size,
+                src: dst,
+            });
             false
         }
         0xa2 | 0xa3 => {
@@ -489,17 +676,30 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let seg = inst.seg_override.unwrap_or(Seg::Ds);
             let addr = e.konst(cval(inst.imm.expect("moffs")));
             let v = e.read_reg(Gpr::Eax as u8, size);
-            e.push(Uop::St { seg, addr, src: v, size });
+            e.push(Uop::St {
+                seg,
+                addr,
+                src: v,
+                size,
+            });
             false
         }
         0xb0..=0xb7 => {
             let v = e.konst(cval(inst.imm.expect("imm8")));
-            e.push(Uop::WriteReg { reg: (op & 7) as u8, size: 1, src: v });
+            e.push(Uop::WriteReg {
+                reg: (op & 7) as u8,
+                size: 1,
+                src: v,
+            });
             false
         }
         0xb8..=0xbf => {
             let v = e.konst(cval(inst.imm.expect("imm")));
-            e.push(Uop::WriteReg { reg: (op & 7) as u8, size: opsize, src: v });
+            e.push(Uop::WriteReg {
+                reg: (op & 7) as u8,
+                size: opsize,
+                src: v,
+            });
             false
         }
         0xc6 | 0xc7 => {
@@ -522,8 +722,18 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                         e.write_rm(inst, 2, sel, None);
                     } else {
                         let out = e.t();
-                        e.push(Uop::Ext { dst: out, a: sel, from: 2, to: opsize, signed: false });
-                        e.push(Uop::WriteReg { reg: mr.rm, size: opsize, src: out });
+                        e.push(Uop::Ext {
+                            dst: out,
+                            a: sel,
+                            from: 2,
+                            to: opsize,
+                            signed: false,
+                        });
+                        e.push(Uop::WriteReg {
+                            reg: mr.rm,
+                            size: opsize,
+                            src: out,
+                        });
                     }
                     false
                 }
@@ -538,8 +748,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 }
                 Some(seg) => {
                     let (sel, _) = e.read_rm(inst, 2);
-                    let kind =
-                        if seg == Seg::Ss { desc_kind::STACK } else { desc_kind::DATA } as u8;
+                    let kind = if seg == Seg::Ss {
+                        desc_kind::STACK
+                    } else {
+                        desc_kind::DATA
+                    } as u8;
                     e.push(Uop::Helper(Helper::LoadSeg { seg, sel, kind }));
                     false
                 }
@@ -550,10 +763,24 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let (_, addr) = e.ea(inst);
             if opsize == 2 {
                 let out = e.t();
-                e.push(Uop::Ext { dst: out, a: addr, from: 4, to: 2, signed: false });
-                e.push(Uop::WriteReg { reg: mr.reg, size: 2, src: out });
+                e.push(Uop::Ext {
+                    dst: out,
+                    a: addr,
+                    from: 4,
+                    to: 2,
+                    signed: false,
+                });
+                e.push(Uop::WriteReg {
+                    reg: mr.reg,
+                    size: 2,
+                    src: out,
+                });
             } else {
-                e.push(Uop::WriteReg { reg: mr.reg, size: 4, src: addr });
+                e.push(Uop::WriteReg {
+                    reg: mr.reg,
+                    size: 4,
+                    src: addr,
+                });
             }
             false
         }
@@ -563,7 +790,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let (mem_val, addr) = e.read_rm(inst, size);
             let reg_val = e.read_reg(mr.reg, size);
             e.write_rm(inst, size, reg_val, addr);
-            e.push(Uop::WriteReg { reg: mr.reg, size, src: mem_val });
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size,
+                src: mem_val,
+            });
             false
         }
         0x90..=0x97 => {
@@ -571,8 +802,16 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 let reg = (op & 7) as u8;
                 let a = e.read_reg(Gpr::Eax as u8, opsize);
                 let b = e.read_reg(reg, opsize);
-                e.push(Uop::WriteReg { reg: Gpr::Eax as u8, size: opsize, src: b });
-                e.push(Uop::WriteReg { reg, size: opsize, src: a });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Eax as u8,
+                    size: opsize,
+                    src: b,
+                });
+                e.push(Uop::WriteReg {
+                    reg,
+                    size: opsize,
+                    src: a,
+                });
             }
             false
         }
@@ -583,7 +822,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
         }
         0x58..=0x5f => {
             let v = e.pop_t(opsize);
-            e.push(Uop::WriteReg { reg: (op & 7) as u8, size: opsize, src: v });
+            e.push(Uop::WriteReg {
+                reg: (op & 7) as u8,
+                size: opsize,
+                src: v,
+            });
             false
         }
         0x68 => {
@@ -616,7 +859,13 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let sel = e.t();
             e.push(Uop::ReadSel { dst: sel, seg });
             let v = e.t();
-            e.push(Uop::Ext { dst: v, a: sel, from: 2, to: opsize, signed: false });
+            e.push(Uop::Ext {
+                dst: v,
+                a: sel,
+                from: 2,
+                to: opsize,
+                signed: false,
+            });
             e.push_t(v, opsize);
             false
         }
@@ -647,15 +896,27 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
         0x61 => {
             for r in [Gpr::Edi, Gpr::Esi, Gpr::Ebp] {
                 let v = e.pop_t(opsize);
-                e.push(Uop::WriteReg { reg: r as u8, size: opsize, src: v });
+                e.push(Uop::WriteReg {
+                    reg: r as u8,
+                    size: opsize,
+                    src: v,
+                });
             }
             let esp = e.read_reg(Gpr::Esp as u8, 4);
             let k = e.konst(opsize as u32);
             let nesp = e.alu(AluKind::Add, 4, esp, k);
-            e.push(Uop::WriteReg { reg: Gpr::Esp as u8, size: 4, src: nesp });
+            e.push(Uop::WriteReg {
+                reg: Gpr::Esp as u8,
+                size: 4,
+                src: nesp,
+            });
             for r in [Gpr::Ebx, Gpr::Edx, Gpr::Ecx, Gpr::Eax] {
                 let v = e.pop_t(opsize);
-                e.push(Uop::WriteReg { reg: r as u8, size: opsize, src: v });
+                e.push(Uop::WriteReg {
+                    reg: r as u8,
+                    size: opsize,
+                    src: v,
+                });
             }
             false
         }
@@ -679,8 +940,18 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let two = e.konst(2);
             let v = e.alu(AluKind::Or, 4, low, two);
             let v8 = e.t();
-            e.push(Uop::Ext { dst: v8, a: v, from: 4, to: 1, signed: false });
-            e.push(Uop::WriteReg { reg: 4, size: 1, src: v8 }); // AH
+            e.push(Uop::Ext {
+                dst: v8,
+                a: v,
+                from: 4,
+                to: 1,
+                signed: false,
+            });
+            e.push(Uop::WriteReg {
+                reg: 4,
+                size: 1,
+                src: v8,
+            }); // AH
             false
         }
         0xf5 => {
@@ -714,8 +985,17 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let ff = e.konst(0xff);
             let z = e.konst(0);
             let al = e.t();
-            e.push(Uop::Select { dst: al, cond: cf, a: ff, b: z });
-            e.push(Uop::WriteReg { reg: 0, size: 1, src: al });
+            e.push(Uop::Select {
+                dst: al,
+                cond: cf,
+                a: ff,
+                b: z,
+            });
+            e.push(Uop::WriteReg {
+                reg: 0,
+                size: 1,
+                src: al,
+            });
             false
         }
         0xd7 => {
@@ -723,11 +1003,26 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let ebx = e.read_reg(Gpr::Ebx as u8, 4);
             let al = e.read_reg(Gpr::Eax as u8, 1);
             let al32 = e.t();
-            e.push(Uop::Ext { dst: al32, a: al, from: 1, to: 4, signed: false });
+            e.push(Uop::Ext {
+                dst: al32,
+                a: al,
+                from: 1,
+                to: 4,
+                signed: false,
+            });
             let addr = e.alu(AluKind::Add, 4, ebx, al32);
             let v = e.t();
-            e.push(Uop::Ld { dst: v, seg, addr, size: 1 });
-            e.push(Uop::WriteReg { reg: Gpr::Eax as u8, size: 1, src: v });
+            e.push(Uop::Ld {
+                dst: v,
+                seg,
+                addr,
+                size: 1,
+            });
+            e.push(Uop::WriteReg {
+                reg: Gpr::Eax as u8,
+                size: 1,
+                src: v,
+            });
             false
         }
         0xa4..=0xa7 | 0xaa..=0xaf => {
@@ -741,7 +1036,12 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 Some(Rep::RepNe) => 2,
             };
             let seg = inst.seg_override.unwrap_or(Seg::Ds);
-            e.push(Uop::Helper(Helper::StringOp { opcode: op, size, rep, seg }));
+            e.push(Uop::Helper(Helper::StringOp {
+                opcode: op,
+                size,
+                rep,
+                seg,
+            }));
             false
         }
         0xc4 | 0xc5 | 0x0fb2 | 0x0fb4 | 0x0fb5 => {
@@ -757,13 +1057,31 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             // Offset first, selector second (hardware/QEMU order; the Hi-Fi
             // emulator is the deviant here, §6.2).
             let off = e.t();
-            e.push(Uop::Ld { dst: off, seg: mseg, addr, size: opsize });
+            e.push(Uop::Ld {
+                dst: off,
+                seg: mseg,
+                addr,
+                size: opsize,
+            });
             let k = e.konst(opsize as u32);
             let sel_addr = e.alu(AluKind::Add, 4, addr, k);
             let sel = e.t();
-            e.push(Uop::Ld { dst: sel, seg: mseg, addr: sel_addr, size: 2 });
-            e.push(Uop::Helper(Helper::LoadSeg { seg, sel, kind: kind as u8 }));
-            e.push(Uop::WriteReg { reg: mr.reg, size: opsize, src: off });
+            e.push(Uop::Ld {
+                dst: sel,
+                seg: mseg,
+                addr: sel_addr,
+                size: 2,
+            });
+            e.push(Uop::Helper(Helper::LoadSeg {
+                seg,
+                sel,
+                kind: kind as u8,
+            }));
+            e.push(Uop::WriteReg {
+                reg: mr.reg,
+                size: opsize,
+                src: off,
+            });
             false
         }
 
@@ -787,7 +1105,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 let ecx = e.read_reg(Gpr::Ecx as u8, 4);
                 let one = e.konst(1);
                 let dec = e.alu(AluKind::Sub, 4, ecx, one);
-                e.push(Uop::WriteReg { reg: Gpr::Ecx as u8, size: 4, src: dec });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Ecx as u8,
+                    size: 4,
+                    src: dec,
+                });
                 let nz = e.nonzero(dec);
                 match op {
                     0xe0 => {
@@ -824,15 +1146,26 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                 let esp = e.read_reg(Gpr::Esp as u8, 4);
                 let k = e.konst(extra);
                 let nesp = e.alu(AluKind::Add, 4, esp, k);
-                e.push(Uop::WriteReg { reg: Gpr::Esp as u8, size: 4, src: nesp });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Esp as u8,
+                    size: 4,
+                    src: nesp,
+                });
             }
             let t32 = widen(e, t, opsize);
             e.push(Uop::SetEip { target: t32 });
             true
         }
         0xca | 0xcb => {
-            let extra = if op == 0xca { cval(inst.imm.expect("imm16")) as u16 } else { 0 };
-            e.push(Uop::Helper(Helper::RetFar { size: opsize, extra }));
+            let extra = if op == 0xca {
+                cval(inst.imm.expect("imm16")) as u16
+            } else {
+                0
+            };
+            e.push(Uop::Helper(Helper::RetFar {
+                size: opsize,
+                extra,
+            }));
             true
         }
         0xcf => {
@@ -842,7 +1175,12 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
         0x9a | 0xea => {
             let off = e.konst(cval(inst.imm.expect("far offset")));
             let sel = e.konst(cval(inst.imm2.expect("far selector")));
-            e.push(Uop::Helper(Helper::FarXfer { call: op == 0x9a, sel, off, size: opsize }));
+            e.push(Uop::Helper(Helper::FarXfer {
+                call: op == 0x9a,
+                sel,
+                off,
+                size: opsize,
+            }));
             true
         }
         0xcc => {
@@ -865,7 +1203,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
         0xc8 => {
             let alloc = cval(inst.imm.expect("imm16")) as u16;
             let level = (cval(inst.imm2.expect("imm8")) & 0x1f) as u8;
-            e.push(Uop::Helper(Helper::Enter { size: opsize, alloc, level }));
+            e.push(Uop::Helper(Helper::Enter {
+                size: opsize,
+                alloc,
+                level,
+            }));
             false
         }
         0xc9 => {
@@ -874,22 +1216,48 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
             let ebp = e.read_reg(Gpr::Ebp as u8, 4);
             if fid.atomic_leave {
                 let v = e.t();
-                e.push(Uop::Ld { dst: v, seg: Seg::Ss, addr: ebp, size: opsize });
+                e.push(Uop::Ld {
+                    dst: v,
+                    seg: Seg::Ss,
+                    addr: ebp,
+                    size: opsize,
+                });
                 let k = e.konst(opsize as u32);
                 let nesp = e.alu(AluKind::Add, 4, ebp, k);
-                e.push(Uop::WriteReg { reg: Gpr::Esp as u8, size: 4, src: nesp });
-                e.push(Uop::WriteReg { reg: Gpr::Ebp as u8, size: opsize, src: v });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Esp as u8,
+                    size: 4,
+                    src: nesp,
+                });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Ebp as u8,
+                    size: opsize,
+                    src: v,
+                });
             } else {
-                e.push(Uop::WriteReg { reg: Gpr::Esp as u8, size: 4, src: ebp });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Esp as u8,
+                    size: 4,
+                    src: ebp,
+                });
                 let v = e.pop_t(opsize);
-                e.push(Uop::WriteReg { reg: Gpr::Ebp as u8, size: opsize, src: v });
+                e.push(Uop::WriteReg {
+                    reg: Gpr::Ebp as u8,
+                    size: opsize,
+                    src: v,
+                });
             }
             false
         }
         0x62 => {
             let mr = inst.modrm.as_ref().expect("modrm");
             let (seg, addr) = e.ea(inst);
-            e.push(Uop::Helper(Helper::Bound { size: opsize, reg: mr.reg, addr, seg }));
+            e.push(Uop::Helper(Helper::Bound {
+                size: opsize,
+                reg: mr.reg,
+                addr,
+                seg,
+            }));
             false
         }
         0x63 => {
@@ -949,7 +1317,11 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                         return true;
                     }
                     let (seg, addr) = e.ea(inst);
-                    e.push(Uop::Helper(Helper::DescTable { which: g, addr, seg }));
+                    e.push(Uop::Helper(Helper::DescTable {
+                        which: g,
+                        addr,
+                        seg,
+                    }));
                     return g >= 2; // lgdt/lidt end the block
                 }
                 4 => {
@@ -958,8 +1330,18 @@ fn translate_insn(e: &mut Emit, inst: &Inst<CVal>, fid: &Fidelity, next_eip: u32
                     if mr.mem.is_none() {
                         let w = widen(e, out, 2);
                         let t = e.t();
-                        e.push(Uop::Ext { dst: t, a: w, from: 4, to: opsize, signed: false });
-                        e.push(Uop::WriteReg { reg: mr.rm, size: opsize, src: t });
+                        e.push(Uop::Ext {
+                            dst: t,
+                            a: w,
+                            from: 4,
+                            to: opsize,
+                            signed: false,
+                        });
+                        e.push(Uop::WriteReg {
+                            reg: mr.rm,
+                            size: opsize,
+                            src: t,
+                        });
                     } else {
                         e.write_rm(inst, 2, out, None);
                     }
@@ -1031,12 +1413,24 @@ fn emit_alu(e: &mut Emit, alu_op: u8, size: u8, a: T, b: T) -> (T, bool) {
     match alu_op {
         0 => {
             let r = e.alu(AluKind::Add, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Add, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Add,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         1 => {
             let r = e.alu(AluKind::Or, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Logic, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Logic,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         2 => {
@@ -1045,7 +1439,13 @@ fn emit_alu(e: &mut Emit, alu_op: u8, size: u8, a: T, b: T) -> (T, bool) {
             let cfw = if size == 4 { cf } else { narrow(e, cf, size) };
             let t1 = e.alu(AluKind::Add, size, a, b);
             let r = e.alu(AluKind::Add, size, t1, cfw);
-            e.push(Uop::SetCc { cc: CcKind::Adc, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Adc,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         3 => {
@@ -1054,27 +1454,57 @@ fn emit_alu(e: &mut Emit, alu_op: u8, size: u8, a: T, b: T) -> (T, bool) {
             let cfw = if size == 4 { cf } else { narrow(e, cf, size) };
             let t1 = e.alu(AluKind::Sub, size, a, b);
             let r = e.alu(AluKind::Sub, size, t1, cfw);
-            e.push(Uop::SetCc { cc: CcKind::Sbb, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Sbb,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         4 => {
             let r = e.alu(AluKind::And, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Logic, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Logic,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         5 => {
             let r = e.alu(AluKind::Sub, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Sub, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Sub,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         6 => {
             let r = e.alu(AluKind::Xor, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Logic, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Logic,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, true)
         }
         _ => {
             let r = e.alu(AluKind::Sub, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Sub, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Sub,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             (r, false)
         }
     }
@@ -1089,7 +1519,13 @@ fn translate_f6(e: &mut Emit, inst: &Inst<CVal>) -> bool {
             let (a, _) = e.read_rm(inst, size);
             let b = e.konst(cval(inst.imm.expect("imm")));
             let r = e.alu(AluKind::And, size, a, b);
-            e.push(Uop::SetCc { cc: CcKind::Logic, size, dst: r, a, b });
+            e.push(Uop::SetCc {
+                cc: CcKind::Logic,
+                size,
+                dst: r,
+                a,
+                b,
+            });
             false
         }
         2 => {
@@ -1105,7 +1541,13 @@ fn translate_f6(e: &mut Emit, inst: &Inst<CVal>) -> bool {
             e.push(Uop::Neg { dst: r, a, size });
             e.write_rm(inst, size, r, addr);
             let zero = e.konst(0);
-            e.push(Uop::SetCc { cc: CcKind::Sub, size, dst: r, a: zero, b: a });
+            e.push(Uop::SetCc {
+                cc: CcKind::Sub,
+                size,
+                dst: r,
+                a: zero,
+                b: a,
+            });
             false
         }
         _ => {
@@ -1133,7 +1575,13 @@ fn translate_fe_ff(e: &mut Emit, inst: &Inst<CVal>, next_eip: u32) -> bool {
             };
             e.write_rm(inst, size, r, addr);
             let cc = if g == 0 { CcKind::Inc } else { CcKind::Dec };
-            e.push(Uop::SetCc { cc, size, dst: r, a: cf, b: cf });
+            e.push(Uop::SetCc {
+                cc,
+                size,
+                dst: r,
+                a: cf,
+                b: cf,
+            });
             false
         }
         2 => {
@@ -1158,12 +1606,27 @@ fn translate_fe_ff(e: &mut Emit, inst: &Inst<CVal>, next_eip: u32) -> bool {
             }
             let (seg, addr) = e.ea(inst);
             let off = e.t();
-            e.push(Uop::Ld { dst: off, seg, addr, size });
+            e.push(Uop::Ld {
+                dst: off,
+                seg,
+                addr,
+                size,
+            });
             let k = e.konst(size as u32);
             let sel_addr = e.alu(AluKind::Add, 4, addr, k);
             let sel = e.t();
-            e.push(Uop::Ld { dst: sel, seg, addr: sel_addr, size: 2 });
-            e.push(Uop::Helper(Helper::FarXfer { call: g == 3, sel, off, size }));
+            e.push(Uop::Ld {
+                dst: sel,
+                seg,
+                addr: sel_addr,
+                size: 2,
+            });
+            e.push(Uop::Helper(Helper::FarXfer {
+                call: g == 3,
+                sel,
+                off,
+                size,
+            }));
             true
         }
         6 => {
@@ -1183,13 +1646,25 @@ fn widen(e: &mut Emit, t: T, from: u8) -> T {
         return t;
     }
     let dst = e.t();
-    e.push(Uop::Ext { dst, a: t, from, to: 4, signed: false });
+    e.push(Uop::Ext {
+        dst,
+        a: t,
+        from,
+        to: 4,
+        signed: false,
+    });
     dst
 }
 
 fn narrow(e: &mut Emit, t: T, to: u8) -> T {
     let dst = e.t();
-    e.push(Uop::Ext { dst, a: t, from: 4, to, signed: false });
+    e.push(Uop::Ext {
+        dst,
+        a: t,
+        from: 4,
+        to,
+        signed: false,
+    });
     dst
 }
 

@@ -10,9 +10,8 @@ use pokemu_hifi::HiFi;
 use pokemu_isa::interp::Quirks;
 use pokemu_isa::state::{attrs, flags as fl, Seg};
 use pokemu_lofi::{Fidelity, Lofi};
+use pokemu_rt::Rng;
 use pokemu_symx::Dom;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const CODE: u32 = 0x1000;
 const STACK: u32 = 0x8000;
@@ -50,7 +49,10 @@ fn flat_lofi() -> Lofi {
                 selector: 0x8,
                 base: 0,
                 limit: 0xffff_ffff,
-                attrs: typ | (1 << attrs::S as u16) | (1 << attrs::P as u16) | (1 << attrs::DB as u16),
+                attrs: typ
+                    | (1 << attrs::S as u16)
+                    | (1 << attrs::P as u16)
+                    | (1 << attrs::DB as u16),
             };
         }
     }
@@ -58,13 +60,16 @@ fn flat_lofi() -> Lofi {
 }
 
 /// Emits one random register-only instruction with fully defined results.
-fn random_insn(rng: &mut StdRng, out: &mut Vec<u8>) {
+fn random_insn(rng: &mut Rng, out: &mut Vec<u8>) {
     let r1 = rng.gen_range(0..8u8);
     let r2 = rng.gen_range(0..8u8);
     let modrm_rr = 0xc0 | (r2 << 3) | r1;
-    match rng.gen_range(0..14) {
+    match rng.gen_range(0..14u32) {
         // ALU r/m32, r32 (add/or/adc/sbb/and/sub/xor/cmp)
-        0 => out.extend_from_slice(&[[0x01, 0x09, 0x11, 0x19, 0x21, 0x29, 0x31, 0x39][rng.gen_range(0..8)], modrm_rr]),
+        0 => out.extend_from_slice(&[
+            [0x01, 0x09, 0x11, 0x19, 0x21, 0x29, 0x31, 0x39][rng.gen_range(0..8usize)],
+            modrm_rr,
+        ]),
         // ALU r32, imm32
         1 => {
             let op = 0xc0 | (rng.gen_range(0..8u8) << 3) | r1;
@@ -96,15 +101,15 @@ fn random_insn(rng: &mut StdRng, out: &mut Vec<u8>) {
         // bswap
         11 => out.extend_from_slice(&[0x0f, 0xc8 + r1]),
         // lahf / sahf / cmc / clc / stc / cld / std
-        12 => out.push([0x9f, 0x9e, 0xf5, 0xf8, 0xf9, 0xfc, 0xfd][rng.gen_range(0..7)]),
+        12 => out.push([0x9f, 0x9e, 0xf5, 0xf8, 0xf9, 0xfc, 0xfd][rng.gen_range(0..7usize)]),
         // 16-bit ALU via the operand-size prefix
-        _ => out.extend_from_slice(&[0x66, [0x01, 0x29, 0x31][rng.gen_range(0..3)], modrm_rr]),
+        _ => out.extend_from_slice(&[0x66, [0x01, 0x29, 0x31][rng.gen_range(0..3usize)], modrm_rr]),
     }
 }
 
 #[test]
 fn random_register_streams_agree_exactly() {
-    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    let mut rng = Rng::seed_from_u64(0xFACADE);
     for case in 0..80 {
         let mut code = Vec::new();
         // Seed registers with random values.
@@ -115,7 +120,7 @@ fn random_register_streams_agree_exactly() {
             code.push(0xb8 + r);
             code.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
         }
-        for _ in 0..rng.gen_range(4..40) {
+        for _ in 0..rng.gen_range(4..40u32) {
             random_insn(&mut rng, &mut code);
         }
         code.push(0xf4); // hlt
@@ -131,7 +136,10 @@ fn random_register_streams_agree_exactly() {
         let ls = lo.snapshot(le);
 
         assert_eq!(hs.outcome, ls.outcome, "case {case}: outcomes differ");
-        assert_eq!(hs.gpr, ls.gpr, "case {case}: registers differ\ncode: {code:02x?}");
+        assert_eq!(
+            hs.gpr, ls.gpr,
+            "case {case}: registers differ\ncode: {code:02x?}"
+        );
         assert_eq!(
             hs.eflags & fl::STATUS,
             ls.eflags & fl::STATUS,
@@ -145,14 +153,14 @@ fn random_register_streams_agree_exactly() {
 fn shift_streams_agree_on_defined_flags() {
     // Shifts have undefined AF (and OF for counts != 1); compare everything
     // else, exercising the Shift helper against the reference formulas.
-    let mut rng = StdRng::seed_from_u64(0x5417);
+    let mut rng = Rng::seed_from_u64(0x5417);
     for case in 0..60 {
         let mut code = Vec::new();
         for r in 0..4u8 {
             code.push(0xb8 + r);
             code.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
         }
-        for _ in 0..rng.gen_range(2..12) {
+        for _ in 0..rng.gen_range(2..12u32) {
             let r1 = rng.gen_range(0..4u8);
             let g = rng.gen_range(0..8u8);
             let count = rng.gen_range(0..40u8);
@@ -169,7 +177,10 @@ fn shift_streams_agree_on_defined_flags() {
         let le = lo.run(10_000);
         let ls = lo.snapshot(le);
 
-        assert_eq!(hs.gpr, ls.gpr, "case {case}: registers differ\ncode: {code:02x?}");
+        assert_eq!(
+            hs.gpr, ls.gpr,
+            "case {case}: registers differ\ncode: {code:02x?}"
+        );
         // CF, ZF, SF, PF are defined for shifts (OF only for count 1; AF
         // never) — compare the always-defined subset.
         let defined = (1 << fl::CF) | (1 << fl::ZF) | (1 << fl::SF) | (1 << fl::PF);
@@ -183,7 +194,7 @@ fn shift_streams_agree_on_defined_flags() {
 
 #[test]
 fn mul_div_streams_agree_on_registers() {
-    let mut rng = StdRng::seed_from_u64(0xD1D);
+    let mut rng = Rng::seed_from_u64(0xD1D);
     for case in 0..60 {
         let mut code = Vec::new();
         for r in 0..4u8 {
@@ -206,7 +217,10 @@ fn mul_div_streams_agree_on_registers() {
         let le2 = lo.run(10_000);
         let ls = lo.snapshot(le2);
 
-        assert_eq!(hs.outcome, ls.outcome, "case {case}: outcome\ncode: {code:02x?}");
+        assert_eq!(
+            hs.outcome, ls.outcome,
+            "case {case}: outcome\ncode: {code:02x?}"
+        );
         assert_eq!(hs.gpr, ls.gpr, "case {case}: registers\ncode: {code:02x?}");
     }
 }

@@ -21,7 +21,11 @@ fn hifi_env() -> HiFi {
         m.gdtr.limit = d.constant(16, 127);
         for seg in Seg::ALL {
             let typ: u64 = if seg == Seg::Cs { 0xb } else { 0x3 };
-            let a = typ | (1 << attrs::S as u64) | (1 << attrs::P as u64) | (1 << attrs::DB as u64) | (1 << attrs::G as u64);
+            let a = typ
+                | (1 << attrs::S as u64)
+                | (1 << attrs::P as u64)
+                | (1 << attrs::DB as u64)
+                | (1 << attrs::G as u64);
             let s = &mut m.segs[seg as usize];
             s.selector = d.constant(16, 0x8);
             s.cache.base = d.constant(32, 0);
@@ -46,7 +50,11 @@ fn lofi_env(fid: Fidelity) -> Lofi {
                 selector: 0x8,
                 base: 0,
                 limit: 0xffff_ffff,
-                attrs: typ | (1 << attrs::S as u16) | (1 << attrs::P as u16) | (1 << attrs::DB as u16) | (1 << attrs::G as u16),
+                attrs: typ
+                    | (1 << attrs::S as u16)
+                    | (1 << attrs::P as u16)
+                    | (1 << attrs::DB as u16)
+                    | (1 << attrs::G as u16),
             };
         }
     }
@@ -77,7 +85,13 @@ fn iret_functional_agreement() {
     let he = hi.run(64);
     assert_eq!(he, HiExit::Halted);
 
-    for fid in [Fidelity::QEMU_LIKE, Fidelity { iret_ascending: true, ..Fidelity::QEMU_LIKE }] {
+    for fid in [
+        Fidelity::QEMU_LIKE,
+        Fidelity {
+            iret_ascending: true,
+            ..Fidelity::QEMU_LIKE
+        },
+    ] {
         let mut lo = lofi_env(fid);
         lo.load_image(CODE, &code);
         lo.load_image(0x1100, &[0xf4]);
@@ -85,7 +99,11 @@ fn iret_functional_agreement() {
         let le = lo.run(64);
         assert_eq!(le, LoExit::Halted);
         assert_eq!(lo.machine().eip, 0x1101);
-        assert_ne!(lo.machine().eflags() & (1 << 6), 0, "ZF loaded from the frame");
+        assert_ne!(
+            lo.machine().eflags() & (1 << 6),
+            0,
+            "ZF loaded from the frame"
+        );
     }
 }
 
@@ -102,7 +120,10 @@ fn cmpxchg_accumulator_corruption() {
     code.push(0xf4);
 
     let run_lofi = |fid: Fidelity| {
-        let mut lo = lofi_env(Fidelity { enforce_segment_checks: true, ..fid });
+        let mut lo = lofi_env(Fidelity {
+            enforce_segment_checks: true,
+            ..fid
+        });
         // DS read-only (type 0x1).
         lo.machine_mut().segs[Seg::Ds as usize].attrs =
             0x1 | (1 << attrs::S as u16) | (1 << attrs::P as u16);
@@ -114,9 +135,15 @@ fn cmpxchg_accumulator_corruption() {
 
     let (exit, eax) = run_lofi(Fidelity::QEMU_LIKE);
     assert_eq!(exit, LoExit::Exception(Exception::Gp(0)));
-    assert_eq!(eax, 7, "QEMU-like: accumulator corrupted before the faulting write");
+    assert_eq!(
+        eax, 7,
+        "QEMU-like: accumulator corrupted before the faulting write"
+    );
 
-    let (exit, eax) = run_lofi(Fidelity { atomic_cmpxchg: true, ..Fidelity::QEMU_LIKE });
+    let (exit, eax) = run_lofi(Fidelity {
+        atomic_cmpxchg: true,
+        ..Fidelity::QEMU_LIKE
+    });
     assert_eq!(exit, LoExit::Exception(Exception::Gp(0)));
     assert_eq!(eax, 5, "fixed: accumulator preserved on fault");
 
@@ -124,8 +151,10 @@ fn cmpxchg_accumulator_corruption() {
     let mut hi = hifi_env();
     {
         let (d, m) = hi.parts_mut();
-        m.segs[Seg::Ds as usize].cache.attrs =
-            d.constant(attrs::WIDTH, 0x1 | (1 << attrs::S as u64) | (1 << attrs::P as u64));
+        m.segs[Seg::Ds as usize].cache.attrs = d.constant(
+            attrs::WIDTH,
+            0x1 | (1 << attrs::S as u64) | (1 << attrs::P as u64),
+        );
         let v = d.constant(8, 7);
         m.mem.write_u8(0x3000, v);
     }
@@ -142,7 +171,7 @@ fn cmpxchg_accumulator_corruption() {
 #[test]
 fn accessed_flag_not_maintained() {
     let desc = RawDescriptor::flat(0x2).encode(); // writable data, NOT accessed
-    // mov ax, 0x10 ; mov es, ax ; hlt  (selector 0x10 = entry 2)
+                                                  // mov ax, 0x10 ; mov es, ax ; hlt  (selector 0x10 = entry 2)
     let code = [0x66, 0xb8, 0x10, 0x00, 0x8e, 0xc0, 0xf4];
 
     let mut hi = hifi_env();
@@ -151,26 +180,43 @@ fn accessed_flag_not_maintained() {
     assert_eq!(hi.run(16), HiExit::Halted);
     let (d, m) = hi.parts_mut();
     let b5 = m.mem.read_u8(d, GDT + 16 + 5);
-    assert_eq!(d.as_const(b5).map(|v| v & 1), Some(1), "reference sets the accessed bit");
+    assert_eq!(
+        d.as_const(b5).map(|v| v & 1),
+        Some(1),
+        "reference sets the accessed bit"
+    );
 
     let mut lo = lofi_env(Fidelity::QEMU_LIKE);
     lo.load_image(GDT + 16, &desc);
     lo.load_image(CODE, &code);
     assert_eq!(lo.run(16), LoExit::Halted);
-    assert_eq!(lo.machine().ram[(GDT + 16 + 5) as usize] & 1, 0, "QEMU-like leaves it clear");
+    assert_eq!(
+        lo.machine().ram[(GDT + 16 + 5) as usize] & 1,
+        0,
+        "QEMU-like leaves it clear"
+    );
 
-    let mut lo = lofi_env(Fidelity { set_accessed_bit: true, ..Fidelity::QEMU_LIKE });
+    let mut lo = lofi_env(Fidelity {
+        set_accessed_bit: true,
+        ..Fidelity::QEMU_LIKE
+    });
     lo.load_image(GDT + 16, &desc);
     lo.load_image(CODE, &code);
     assert_eq!(lo.run(16), LoExit::Halted);
-    assert_eq!(lo.machine().ram[(GDT + 16 + 5) as usize] & 1, 1, "fixed sets it");
+    assert_eq!(
+        lo.machine().ram[(GDT + 16 + 5) as usize] & 1,
+        1,
+        "fixed sets it"
+    );
 }
 
 /// §6.2: `rdmsr` of an invalid MSR returns zeros instead of #GP.
 #[test]
 fn rdmsr_invalid_msr() {
     // mov ecx, 0x1234; mov eax, 0xffffffff; mov edx, 0xffffffff; rdmsr; hlt
-    let mut code = vec![0xb9, 0x34, 0x12, 0, 0, 0xb8, 0xff, 0xff, 0xff, 0xff, 0xba, 0xff, 0xff, 0xff, 0xff];
+    let mut code = vec![
+        0xb9, 0x34, 0x12, 0, 0, 0xb8, 0xff, 0xff, 0xff, 0xff, 0xba, 0xff, 0xff, 0xff, 0xff,
+    ];
     code.extend_from_slice(&[0x0f, 0x32, 0xf4]);
 
     let mut lo = lofi_env(Fidelity::QEMU_LIKE);
@@ -179,13 +225,24 @@ fn rdmsr_invalid_msr() {
     assert_eq!(lo.machine().gpr[0], 0);
     assert_eq!(lo.machine().gpr[2], 0);
 
-    let mut lo = lofi_env(Fidelity { msr_gp_on_invalid: true, ..Fidelity::QEMU_LIKE });
+    let mut lo = lofi_env(Fidelity {
+        msr_gp_on_invalid: true,
+        ..Fidelity::QEMU_LIKE
+    });
     lo.load_image(CODE, &code);
-    assert_eq!(lo.run(16), LoExit::Exception(Exception::Gp(0)), "fixed build faults");
+    assert_eq!(
+        lo.run(16),
+        LoExit::Exception(Exception::Gp(0)),
+        "fixed build faults"
+    );
 
     let mut hi = hifi_env();
     hi.load_image(CODE, &code);
-    assert_eq!(hi.run(16), HiExit::Exception(Exception::Gp(0)), "reference faults");
+    assert_eq!(
+        hi.run(16),
+        HiExit::Exception(Exception::Gp(0)),
+        "reference faults"
+    );
 }
 
 /// §6.2: `leave` with an unreadable stack page corrupts ESP.
@@ -212,9 +269,15 @@ fn leave_corrupts_esp_on_fault() {
     };
     let (exit, esp) = build(Fidelity::QEMU_LIKE);
     assert!(matches!(exit, LoExit::Exception(Exception::Pf(_, 0x30010))));
-    assert_eq!(esp, 0x30010, "QEMU-like: ESP clobbered with EBP before the fault");
+    assert_eq!(
+        esp, 0x30010,
+        "QEMU-like: ESP clobbered with EBP before the fault"
+    );
 
-    let (exit, esp) = build(Fidelity { atomic_leave: true, ..Fidelity::QEMU_LIKE });
+    let (exit, esp) = build(Fidelity {
+        atomic_leave: true,
+        ..Fidelity::QEMU_LIKE
+    });
     assert!(matches!(exit, LoExit::Exception(Exception::Pf(_, 0x30010))));
     assert_eq!(esp, 0x8000, "fixed: ESP preserved");
 }
@@ -235,7 +298,12 @@ fn dirty_tracking_survives_paging() {
     }
     // Self-modifying code under paging: overwrite the hlt at 0x1100 with
     // inc edx, then jump there.
-    lo.load_image(CODE, &[0xc6, 0x05, 0x00, 0x11, 0x00, 0x00, 0x42, 0xe9, 0xf4, 0x00, 0x00, 0x00]);
+    lo.load_image(
+        CODE,
+        &[
+            0xc6, 0x05, 0x00, 0x11, 0x00, 0x00, 0x42, 0xe9, 0xf4, 0x00, 0x00, 0x00,
+        ],
+    );
     lo.load_image(0x1100, &[0xf4, 0xf4]);
     assert_eq!(lo.run(32), LoExit::Halted);
     assert_eq!(lo.machine().gpr[2], 1, "rewritten instruction must execute");

@@ -1,0 +1,282 @@
+//! A micro-benchmark timer harness (the in-repo `criterion` replacement).
+//!
+//! Protocol per benchmark function: warm up for a wall-clock budget, size a
+//! batch so one sample lasts roughly `measurement_time / sample_size`, then
+//! take K timed samples and report per-iteration latency as min / mean /
+//! median / p95 / max. Results print to stdout and append as JSON lines to
+//! `target/bench/<suite>.json`, one object per benchmark:
+//!
+//! ```json
+//! {"suite":"e6","group":"e6","bench":"generation_unit","samples":10,
+//!  "iters_per_sample":4,"min_ns":812345,"mean_ns":830412,
+//!  "median_ns":829101,"p95_ns":861200,"max_ns":870001}
+//! ```
+//!
+//! Benches are plain binaries (`harness = false`): call [`Bench::new`],
+//! create a [`Group`], register functions, `finish()`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One benchmark suite, owning the JSON output file.
+#[derive(Debug)]
+pub struct Bench {
+    suite: String,
+    out_path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl Bench {
+    /// Opens a suite named `suite`; results go to `target/bench/<suite>.json`
+    /// (truncated per run, so each file holds exactly the latest results).
+    pub fn new(suite: &str) -> Self {
+        let dir = target_dir().join("bench");
+        let _ = std::fs::create_dir_all(&dir);
+        Bench {
+            suite: suite.to_owned(),
+            out_path: dir.join(format!("{suite}.json")),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Where this suite's JSON lines are written.
+    pub fn out_path(&self) -> &std::path::Path {
+        &self.out_path
+    }
+
+    /// Starts a named benchmark group with default settings (10 samples,
+    /// 500 ms warm-up, 3 s measurement budget).
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_owned(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(3),
+        }
+    }
+
+    fn record(&mut self, line: String) {
+        self.lines.push(line);
+        self.flush();
+    }
+
+    fn flush(&self) {
+        if let Ok(mut f) = std::fs::File::create(&self.out_path) {
+            for l in &self.lines {
+                let _ = writeln!(f, "{l}");
+            }
+        }
+    }
+}
+
+/// A group of benchmark functions sharing timing settings.
+#[derive(Debug)]
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (K).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock warm-up budget before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget; per-sample batches are sized from it.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once with the routine under test.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        assert!(
+            !b.samples_ns.is_empty(),
+            "bench_function body must call Bencher::iter"
+        );
+        let stats = Stats::of(&mut b.samples_ns);
+        println!(
+            "[bench] {}/{}/{id}: median {} p95 {} ({} samples x {} iters)",
+            self.bench.suite,
+            self.name,
+            fmt_ns(stats.median),
+            fmt_ns(stats.p95),
+            b.samples_ns.len(),
+            b.iters_per_sample,
+        );
+        self.bench.record(format!(
+            "{{\"suite\":\"{}\",\"group\":\"{}\",\"bench\":\"{id}\",\"samples\":{},\
+             \"iters_per_sample\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\
+             \"p95_ns\":{},\"max_ns\":{}}}",
+            self.bench.suite,
+            self.name,
+            b.samples_ns.len(),
+            b.iters_per_sample,
+            stats.min,
+            stats.mean,
+            stats.median,
+            stats.p95,
+            stats.max,
+        ));
+    }
+
+    /// Ends the group (kept for criterion API parity; recording is eager).
+    pub fn finish(self) {}
+}
+
+/// Times one routine: warm-up, batch sizing, K samples.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples_ns: Vec<u64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs the measurement protocol on `routine`. The return value is
+    /// passed through [`std::hint::black_box`] so the computation is kept.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up: run until the budget elapses (at least once), and use the
+        // observed per-iteration time to size sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let per_sample_budget =
+            (self.measurement.as_nanos() / self.sample_size.max(1) as u128).max(1);
+        self.iters_per_sample = (per_sample_budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as u64 / self.iters_per_sample;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Stats {
+    min: u64,
+    mean: u64,
+    median: u64,
+    p95: u64,
+    max: u64,
+}
+
+impl Stats {
+    fn of(samples: &mut [u64]) -> Stats {
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |p: f64| samples[(((n - 1) as f64) * p).round() as usize];
+        Stats {
+            min: samples[0],
+            mean: (samples.iter().map(|&s| s as u128).sum::<u128>() / n as u128) as u64,
+            median: pct(0.5),
+            p95: pct(0.95),
+            max: samples[n - 1],
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The workspace `target/` directory: `$CARGO_TARGET_DIR` if set, else the
+/// nearest ancestor `target/` of the current directory, else `./target`.
+fn target_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(d);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        let cand = dir.join("target");
+        if cand.is_dir() {
+            return cand;
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd.join("target"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_emits_json_lines() {
+        let mut bench = Bench::new("rt-selftest");
+        let mut g = bench.group("unit");
+        g.sample_size(4)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x * x)))
+        });
+        g.finish();
+        let text = std::fs::read_to_string(bench.out_path()).expect("json file written");
+        let line = text.lines().next().expect("one line");
+        for key in [
+            "\"suite\":\"rt-selftest\"",
+            "\"bench\":\"spin\"",
+            "median_ns",
+            "p95_ns",
+        ] {
+            assert!(line.contains(key), "{key} missing from {line}");
+        }
+    }
+
+    #[test]
+    fn stats_percentiles() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let st = Stats::of(&mut s);
+        assert_eq!(st.min, 1);
+        assert_eq!(st.max, 100);
+        assert_eq!(st.median, 51, "nearest-rank median of 1..=100");
+        assert_eq!(st.p95, 95);
+    }
+}

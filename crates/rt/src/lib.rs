@@ -1,0 +1,27 @@
+//! `pokemu-rt` — self-contained runtime support for the PokeEMU-rs
+//! workspace, replacing every external crate the repo once pulled from
+//! crates.io so that `cargo build && cargo test && cargo bench` work with
+//! no network access:
+//!
+//! | was | now |
+//! |---|---|
+//! | `rand` | [`rng`]: seedable SplitMix64 / xoshiro256** with the small `Rng` surface the repo uses |
+//! | `crossbeam` (scoped threads) | [`pool`]: `std::thread::scope` work queue with per-worker stats |
+//! | `proptest` | [`prop`]: the [`prop!`] macro — N cases, PRNG generators, shrink-by-halving, `POKEMU_PROP_SEED` replay |
+//! | `criterion` | [`bench`]: warm-up + K timed samples, median/p95, JSON lines in `target/bench/` |
+//!
+//! Determinism is the point, not just offline builds: the same seeds produce
+//! the same exploration choices, the same random-baseline tests (E5), and
+//! the same property-test cases on every machine, so experiment results and
+//! failures are exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+
+pub use pool::{for_each, PoolRun, WorkerStats};
+pub use prop::Gen;
+pub use rng::{mix64, Rng, SplitMix64};

@@ -34,7 +34,12 @@ impl Blaster {
         let t = sat.new_var();
         let lit_true = Lit::pos(t);
         sat.add_clause(&[lit_true]);
-        Blaster { sat, bits: Vec::new(), var_bits: Vec::new(), lit_true }
+        Blaster {
+            sat,
+            bits: Vec::new(),
+            var_bits: Vec::new(),
+            lit_true,
+        }
     }
 
     /// The underlying SAT solver (for `solve` and `model_value`).
@@ -68,7 +73,6 @@ impl Blaster {
     fn fresh(&mut self) -> Lit {
         Lit::pos(self.sat.new_var())
     }
-
 
     fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
         match (self.as_const(a), self.as_const(b)) {
@@ -199,7 +203,10 @@ impl Blaster {
     }
 
     fn mux_vec(&mut self, c: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
-        t.iter().zip(e).map(|(&ti, &ei)| self.mux_gate(c, ti, ei)).collect()
+        t.iter()
+            .zip(e)
+            .map(|(&ti, &ei)| self.mux_gate(c, ti, ei))
+            .collect()
     }
 
     /// Barrel shifter. `left` selects shift direction; `fill` is shifted in.
@@ -214,7 +221,11 @@ impl Blaster {
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
                 let shifted = if left {
-                    if i >= dist { cur[i - dist] } else { fill }
+                    if i >= dist {
+                        cur[i - dist]
+                    } else {
+                        fill
+                    }
                 } else if i + dist < w {
                     cur[i + dist]
                 } else {
@@ -346,15 +357,24 @@ impl Blaster {
                 }
                 Op::And(a, b) => {
                     let (av, bv) = (get(a, self), get(b, self));
-                    av.iter().zip(&bv).map(|(&x, &y)| self.and_gate(x, y)).collect()
+                    av.iter()
+                        .zip(&bv)
+                        .map(|(&x, &y)| self.and_gate(x, y))
+                        .collect()
                 }
                 Op::Or(a, b) => {
                     let (av, bv) = (get(a, self), get(b, self));
-                    av.iter().zip(&bv).map(|(&x, &y)| self.or_gate(x, y)).collect()
+                    av.iter()
+                        .zip(&bv)
+                        .map(|(&x, &y)| self.or_gate(x, y))
+                        .collect()
                 }
                 Op::Xor(a, b) => {
                     let (av, bv) = (get(a, self), get(b, self));
-                    av.iter().zip(&bv).map(|(&x, &y)| self.xor_gate(x, y)).collect()
+                    av.iter()
+                        .zip(&bv)
+                        .map(|(&x, &y)| self.xor_gate(x, y))
+                        .collect()
                 }
                 Op::Add(a, b) => {
                     let (av, bv) = (get(a, self), get(b, self));

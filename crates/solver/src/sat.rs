@@ -231,7 +231,11 @@ const RESCALE_LIMIT: f64 = 1e100;
 impl Sat {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        Sat { var_inc: 1.0, ok: true, ..Default::default() }
+        Sat {
+            var_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
     }
 
     /// Allocates a fresh variable.
@@ -340,8 +344,14 @@ impl Sat {
 
     fn attach(&mut self, lits: Vec<Lit>) -> u32 {
         let cref = self.clauses.len() as u32;
-        self.watches[lits[0].code()].push(Watch { clause: cref, blocker: lits[1] });
-        self.watches[lits[1].code()].push(Watch { clause: cref, blocker: lits[0] });
+        self.watches[lits[0].code()].push(Watch {
+            clause: cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watch {
+            clause: cref,
+            blocker: lits[0],
+        });
         self.clauses.push(Clause { lits });
         cref
     }
@@ -349,7 +359,11 @@ impl Sat {
     fn enqueue(&mut self, l: Lit, reason: i64) {
         debug_assert_eq!(self.value_lit(l), LBool::Undef);
         let v = l.var().0 as usize;
-        self.assigns[v] = if l.is_pos() { LBool::True } else { LBool::False };
+        self.assigns[v] = if l.is_pos() {
+            LBool::True
+        } else {
+            LBool::False
+        };
         self.phase[v] = l.is_pos();
         self.level[v] = self.decision_level();
         self.reason[v] = reason;
@@ -390,8 +404,10 @@ impl Sat {
                     if self.value_lit(lk) != LBool::False {
                         self.clauses[cref].lits.swap(1, k);
                         let new_watch = self.clauses[cref].lits[1];
-                        self.watches[new_watch.code()]
-                            .push(Watch { clause: w.clause, blocker: first });
+                        self.watches[new_watch.code()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
@@ -701,8 +717,7 @@ mod tests {
 
     #[test]
     fn random_3sat_agrees_with_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        let mut rng = pokemu_rt::Rng::seed_from_u64(0xC0FFEE);
         for _ in 0..60 {
             let nvars = rng.gen_range(3..=8usize);
             let nclauses = rng.gen_range(1..=24usize);

@@ -29,7 +29,9 @@ impl Model {
 
     /// Builds a model from raw `(variable, value)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, u64)>) -> Self {
-        Model { values: pairs.into_iter().collect() }
+        Model {
+            values: pairs.into_iter().collect(),
+        }
     }
 
     /// The value assigned to `v`, if constrained.
@@ -119,8 +121,10 @@ impl BvSolver {
     /// Panics if an assumption term does not have width 1.
     pub fn check(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
         self.stats.queries += 1;
-        let lits: Vec<Lit> =
-            assumptions.iter().map(|&t| self.blaster.blast_bool(pool, t)).collect();
+        let lits: Vec<Lit> = assumptions
+            .iter()
+            .map(|&t| self.blaster.blast_bool(pool, t))
+            .collect();
         let r = self.blaster.sat().solve(&lits);
         match r {
             SatResult::Sat => self.stats.sat += 1,

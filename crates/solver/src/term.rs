@@ -220,7 +220,10 @@ impl TermPool {
         let v = VarId(self.var_names.len() as u32);
         self.var_names.push(name.to_owned());
         self.var_widths.push(w);
-        self.intern(Node { op: Op::Var(v), width: w })
+        self.intern(Node {
+            op: Op::Var(v),
+            width: w,
+        })
     }
 
     /// Interns the constant `v` masked to width `w`.
@@ -231,7 +234,10 @@ impl TermPool {
     pub fn constant(&mut self, w: Width, v: u64) -> TermId {
         assert!(w >= 1 && w <= MAX_WIDTH, "invalid width {w}");
         let v = mask(w, v);
-        self.intern(Node { op: Op::Const(v), width: w })
+        self.intern(Node {
+            op: Op::Const(v),
+            width: w,
+        })
     }
 
     /// The width-1 constant 1 ("true").
@@ -258,7 +264,10 @@ impl TermPool {
             Op::Const(v) => self.constant(w, !v),
             // ~~x = x
             Op::Not(inner) => inner,
-            _ => self.intern(Node { op: Op::Not(a), width: w }),
+            _ => self.intern(Node {
+                op: Op::Not(a),
+                width: w,
+            }),
         }
     }
 
@@ -268,7 +277,10 @@ impl TermPool {
         match self.nodes[a.index()].op {
             Op::Const(v) => self.constant(w, v.wrapping_neg()),
             Op::Neg(inner) => inner,
-            _ => self.intern(Node { op: Op::Neg(a), width: w }),
+            _ => self.intern(Node {
+                op: Op::Neg(a),
+                width: w,
+            }),
         }
     }
 
@@ -285,7 +297,10 @@ impl TermPool {
             (_, Some(y)) if y == mask(w, u64::MAX) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Node { op: Op::And(a, b), width: w })
+                self.intern(Node {
+                    op: Op::And(a, b),
+                    width: w,
+                })
             }
         }
     }
@@ -304,7 +319,10 @@ impl TermPool {
             (_, Some(y)) if y == mask(w, u64::MAX) => b,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Node { op: Op::Or(a, b), width: w })
+                self.intern(Node {
+                    op: Op::Or(a, b),
+                    width: w,
+                })
             }
         }
     }
@@ -321,7 +339,10 @@ impl TermPool {
             (_, Some(0)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Node { op: Op::Xor(a, b), width: w })
+                self.intern(Node {
+                    op: Op::Xor(a, b),
+                    width: w,
+                })
             }
         }
     }
@@ -335,7 +356,10 @@ impl TermPool {
             (_, Some(0)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Node { op: Op::Add(a, b), width: w })
+                self.intern(Node {
+                    op: Op::Add(a, b),
+                    width: w,
+                })
             }
         }
     }
@@ -349,7 +373,10 @@ impl TermPool {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(w, x.wrapping_sub(y)),
             (_, Some(0)) => a,
-            _ => self.intern(Node { op: Op::Sub(a, b), width: w }),
+            _ => self.intern(Node {
+                op: Op::Sub(a, b),
+                width: w,
+            }),
         }
     }
 
@@ -363,7 +390,10 @@ impl TermPool {
             (_, Some(1)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Node { op: Op::Mul(a, b), width: w })
+                self.intern(Node {
+                    op: Op::Mul(a, b),
+                    width: w,
+                })
             }
         }
     }
@@ -375,7 +405,10 @@ impl TermPool {
             (Some(_), Some(0)) | (None, Some(0)) => self.constant(w, mask(w, u64::MAX)),
             (Some(x), Some(y)) => self.constant(w, x / y),
             (_, Some(1)) => a,
-            _ => self.intern(Node { op: Op::UDiv(a, b), width: w }),
+            _ => self.intern(Node {
+                op: Op::UDiv(a, b),
+                width: w,
+            }),
         }
     }
 
@@ -386,7 +419,10 @@ impl TermPool {
             (_, Some(0)) => a,
             (Some(x), Some(y)) => self.constant(w, x % y),
             (_, Some(1)) => self.constant(w, 0),
-            _ => self.intern(Node { op: Op::URem(a, b), width: w }),
+            _ => self.intern(Node {
+                op: Op::URem(a, b),
+                width: w,
+            }),
         }
     }
 
@@ -400,7 +436,10 @@ impl TermPool {
             }
             (_, Some(0)) => a,
             (Some(0), _) => self.constant(w, 0),
-            _ => self.intern(Node { op: Op::Shl(a, b), width: w }),
+            _ => self.intern(Node {
+                op: Op::Shl(a, b),
+                width: w,
+            }),
         }
     }
 
@@ -414,7 +453,10 @@ impl TermPool {
             }
             (_, Some(0)) => a,
             (Some(0), _) => self.constant(w, 0),
-            _ => self.intern(Node { op: Op::LShr(a, b), width: w }),
+            _ => self.intern(Node {
+                op: Op::LShr(a, b),
+                width: w,
+            }),
         }
     }
 
@@ -424,11 +466,18 @@ impl TermPool {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(s)) => {
                 let sx = sext64(w, x);
-                let v = if s >= w as u64 { (sx >> 63) as u64 } else { (sx >> s) as u64 };
+                let v = if s >= w as u64 {
+                    (sx >> 63) as u64
+                } else {
+                    (sx >> s) as u64
+                };
                 self.constant(w, v)
             }
             (_, Some(0)) => a,
-            _ => self.intern(Node { op: Op::AShr(a, b), width: w }),
+            _ => self.intern(Node {
+                op: Op::AShr(a, b),
+                width: w,
+            }),
         }
     }
 
@@ -442,7 +491,10 @@ impl TermPool {
             (Some(x), Some(y)) => self.constant(1, (x == y) as u64),
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.intern(Node { op: Op::Eq(a, b), width: 1 })
+                self.intern(Node {
+                    op: Op::Eq(a, b),
+                    width: 1,
+                })
             }
         }
     }
@@ -462,7 +514,10 @@ impl TermPool {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(1, (x < y) as u64),
             (_, Some(0)) => self.false_(),
-            _ => self.intern(Node { op: Op::Ult(a, b), width: 1 }),
+            _ => self.intern(Node {
+                op: Op::Ult(a, b),
+                width: 1,
+            }),
         }
     }
 
@@ -480,7 +535,10 @@ impl TermPool {
         }
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(1, (sext64(w, x) < sext64(w, y)) as u64),
-            _ => self.intern(Node { op: Op::Slt(a, b), width: 1 }),
+            _ => self.intern(Node {
+                op: Op::Slt(a, b),
+                width: 1,
+            }),
         }
     }
 
@@ -500,7 +558,10 @@ impl TermPool {
         match self.as_const(cond) {
             Some(1) => t,
             Some(0) => e,
-            _ => self.intern(Node { op: Op::Ite(cond, t, e), width: w }),
+            _ => self.intern(Node {
+                op: Op::Ite(cond, t, e),
+                width: w,
+            }),
         }
     }
 
@@ -531,7 +592,10 @@ impl TermPool {
                 } else if lo >= lw {
                     self.extract(hi_t, hi - lw, lo - lw)
                 } else {
-                    self.intern(Node { op: Op::Extract(a, hi, lo), width: nw })
+                    self.intern(Node {
+                        op: Op::Extract(a, hi, lo),
+                        width: nw,
+                    })
                 }
             }
             Op::ZExt(inner) => {
@@ -541,10 +605,16 @@ impl TermPool {
                 } else if lo >= iw {
                     self.constant(nw, 0)
                 } else {
-                    self.intern(Node { op: Op::Extract(a, hi, lo), width: nw })
+                    self.intern(Node {
+                        op: Op::Extract(a, hi, lo),
+                        width: nw,
+                    })
                 }
             }
-            _ => self.intern(Node { op: Op::Extract(a, hi, lo), width: nw }),
+            _ => self.intern(Node {
+                op: Op::Extract(a, hi, lo),
+                width: nw,
+            }),
         }
     }
 
@@ -556,10 +626,16 @@ impl TermPool {
     pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
         let wh = self.width(hi);
         let wl = self.width(lo);
-        let w = wh.checked_add(wl).filter(|&w| w <= MAX_WIDTH).expect("concat too wide");
+        let w = wh
+            .checked_add(wl)
+            .filter(|&w| w <= MAX_WIDTH)
+            .expect("concat too wide");
         match (self.as_const(hi), self.as_const(lo)) {
             (Some(h), Some(l)) => self.constant(w, (h << wl) | l),
-            _ => self.intern(Node { op: Op::Concat(hi, lo), width: w }),
+            _ => self.intern(Node {
+                op: Op::Concat(hi, lo),
+                width: w,
+            }),
         }
     }
 
@@ -576,7 +652,10 @@ impl TermPool {
         }
         match self.nodes[a.index()].op {
             Op::Const(v) => self.constant(w, v),
-            _ => self.intern(Node { op: Op::ZExt(a), width: w }),
+            _ => self.intern(Node {
+                op: Op::ZExt(a),
+                width: w,
+            }),
         }
     }
 
@@ -593,7 +672,10 @@ impl TermPool {
         }
         match self.nodes[a.index()].op {
             Op::Const(v) => self.constant(w, sext64(aw, v) as u64),
-            _ => self.intern(Node { op: Op::SExt(a), width: w }),
+            _ => self.intern(Node {
+                op: Op::SExt(a),
+                width: w,
+            }),
         }
     }
 
@@ -678,9 +760,12 @@ impl TermPool {
             let w = node.width;
             let get = |x: TermId, cache: &HashMap<TermId, u64>| -> u64 { cache[&x] };
             let v = match node.op {
-                Op::Var(v) => mask(w, *env.get(&v).unwrap_or_else(|| {
-                    panic!("eval: unassigned variable {}", self.var_name(v))
-                })),
+                Op::Var(v) => mask(
+                    w,
+                    *env.get(&v).unwrap_or_else(|| {
+                        panic!("eval: unassigned variable {}", self.var_name(v))
+                    }),
+                ),
                 Op::Const(c) => c,
                 Op::Not(a) => mask(w, !get(a, cache)),
                 Op::Neg(a) => mask(w, get(a, cache).wrapping_neg()),
@@ -692,19 +777,35 @@ impl TermPool {
                 Op::Mul(a, b) => mask(w, get(a, cache).wrapping_mul(get(b, cache))),
                 Op::UDiv(a, b) => {
                     let (x, y) = (get(a, cache), get(b, cache));
-                    if y == 0 { mask(w, u64::MAX) } else { x / y }
+                    if y == 0 {
+                        mask(w, u64::MAX)
+                    } else {
+                        x / y
+                    }
                 }
                 Op::URem(a, b) => {
                     let (x, y) = (get(a, cache), get(b, cache));
-                    if y == 0 { x } else { x % y }
+                    if y == 0 {
+                        x
+                    } else {
+                        x % y
+                    }
                 }
                 Op::Shl(a, b) => {
                     let (x, s) = (get(a, cache), get(b, cache));
-                    if s >= w as u64 { 0 } else { mask(w, x << s) }
+                    if s >= w as u64 {
+                        0
+                    } else {
+                        mask(w, x << s)
+                    }
                 }
                 Op::LShr(a, b) => {
                     let (x, s) = (get(a, cache), get(b, cache));
-                    if s >= w as u64 { 0 } else { x >> s }
+                    if s >= w as u64 {
+                        0
+                    } else {
+                        x >> s
+                    }
                 }
                 Op::AShr(a, b) => {
                     let (x, s) = (get(a, cache), get(b, cache));
@@ -723,7 +824,11 @@ impl TermPool {
                     (sext64(aw, get(a, cache)) < sext64(aw, get(b, cache))) as u64
                 }
                 Op::Ite(c, a, b) => {
-                    if get(c, cache) != 0 { get(a, cache) } else { get(b, cache) }
+                    if get(c, cache) != 0 {
+                        get(a, cache)
+                    } else {
+                        get(b, cache)
+                    }
                 }
                 Op::Extract(a, hi, lo) => mask(hi - lo + 1, get(a, cache) >> lo),
                 Op::Concat(a, b) => {
@@ -1047,7 +1152,10 @@ mod tests {
         let sub = p.sub(y, x);
         assert_eq!(p.as_const(sub), Some(0x0030));
         let mul = p.mul(x, y);
-        assert_eq!(p.as_const(mul), Some(mask(16, 0xfff0u64.wrapping_mul(0x20))));
+        assert_eq!(
+            p.as_const(mul),
+            Some(mask(16, 0xfff0u64.wrapping_mul(0x20)))
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use pokemu_rt::Gen;
 use pokemu_solver::{BvSolver, SatResult, TermId, TermPool, VarId, Width};
 
 /// A recipe for building a random term over a fixed set of variables.
@@ -24,20 +24,34 @@ enum Recipe {
     Ite(Box<Recipe>, Box<Recipe>, Box<Recipe>),
 }
 
-fn recipe_strategy(depth: u32) -> impl Strategy<Value = Recipe> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(Recipe::Var),
-        any::<u64>().prop_map(Recipe::Const),
-    ];
-    leaf.prop_recursive(depth, 64, 3, |inner| {
-        prop_oneof![
-            (0u8..2, inner.clone()).prop_map(|(op, a)| Recipe::Unary(op, Box::new(a))),
-            (0u8..11, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Recipe::Binary(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Recipe::Ite(Box::new(c), Box::new(a), Box::new(b))),
-        ]
-    })
+/// Draws a random term recipe of at most `depth` interior levels. The depth
+/// scales with the generator size, so shrinking produces smaller terms.
+fn gen_recipe(g: &mut Gen, depth: u32) -> Recipe {
+    if depth == 0 || g.bool(0.25) {
+        return if g.bool(0.5) {
+            Recipe::Var(g.range(0..3usize))
+        } else {
+            Recipe::Const(g.gen())
+        };
+    }
+    match g.range(0..3u32) {
+        0 => Recipe::Unary(g.range(0..2u8), Box::new(gen_recipe(g, depth - 1))),
+        1 => Recipe::Binary(
+            g.range(0..11u8),
+            Box::new(gen_recipe(g, depth - 1)),
+            Box::new(gen_recipe(g, depth - 1)),
+        ),
+        _ => Recipe::Ite(
+            Box::new(gen_recipe(g, depth - 1)),
+            Box::new(gen_recipe(g, depth - 1)),
+            Box::new(gen_recipe(g, depth - 1)),
+        ),
+    }
+}
+
+/// Recipe depth for the current generator size (1..=3; shrinks with size).
+fn depth_for(g: &Gen) -> u32 {
+    ((g.size() / 24) as u32 + 1).min(3)
 }
 
 fn build(pool: &mut TermPool, vars: &[TermId], w: Width, r: &Recipe) -> TermId {
@@ -79,12 +93,13 @@ fn build(pool: &mut TermPool, vars: &[TermId], w: Width, r: &Recipe) -> TermId {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+pokemu_rt::prop! {
     /// SAT models must satisfy the asserted equality `t == target`.
-    #[test]
-    fn model_soundness(recipe in recipe_strategy(3), target in any::<u64>(), w in prop_oneof![Just(4u8), Just(8u8), Just(13u8)]) {
+    fn model_soundness(g, cases = 48) {
+        let depth = depth_for(g);
+        let recipe = gen_recipe(g, depth);
+        let target: u64 = g.gen();
+        let w = *g.choose(&[4u8, 8, 13]);
         let mut pool = TermPool::new();
         let vars: Vec<TermId> = (0..3).map(|i| pool.var(w, &format!("v{i}"))).collect();
         let t = build(&mut pool, &vars, w, &recipe);
@@ -96,13 +111,17 @@ proptest! {
             for i in 0..3 {
                 env.insert(VarId(i), model.value_or(VarId(i), 0));
             }
-            prop_assert_eq!(pool.eval(cond, &env), 1, "model does not satisfy: {}", pool.display(cond));
+            assert_eq!(pool.eval(cond, &env), 1, "model does not satisfy: {}", pool.display(cond));
         }
     }
 
     /// With every variable pinned, satisfiability must equal evaluation.
-    #[test]
-    fn pinned_inputs_match_eval(recipe in recipe_strategy(3), vals in prop::array::uniform3(any::<u64>()), target in any::<u64>(), w in prop_oneof![Just(4u8), Just(7u8)]) {
+    fn pinned_inputs_match_eval(g, cases = 48) {
+        let depth = depth_for(g);
+        let recipe = gen_recipe(g, depth);
+        let vals = [g.gen::<u64>(), g.gen::<u64>(), g.gen::<u64>()];
+        let target: u64 = g.gen();
+        let w = *g.choose(&[4u8, 7]);
         let mut pool = TermPool::new();
         let vars: Vec<TermId> = (0..3).map(|i| pool.var(w, &format!("v{i}"))).collect();
         let t = build(&mut pool, &vars, w, &recipe);
@@ -118,12 +137,14 @@ proptest! {
         let expect = pool.eval(cond, &env) == 1;
         let mut solver = BvSolver::new();
         let got = solver.check(&pool, &assumptions) == SatResult::Sat;
-        prop_assert_eq!(got, expect, "term: {}", pool.display(t));
+        assert_eq!(got, expect, "term: {}", pool.display(t));
     }
 
     /// Comparison operators agree with native Rust semantics.
-    #[test]
-    fn comparisons_match_native(a in any::<u64>(), b in any::<u64>(), w in prop_oneof![Just(8u8), Just(16u8), Just(32u8)]) {
+    fn comparisons_match_native(g, cases = 64) {
+        let a: u64 = g.gen();
+        let b: u64 = g.gen();
+        let w = *g.choose(&[8u8, 16, 32]);
         let mut pool = TermPool::new();
         let av = pool.var(w, "a");
         let bv = pool.var(w, "b");
@@ -142,10 +163,10 @@ proptest! {
         let sat = |s: &mut BvSolver, p: &TermPool, extra: pokemu_solver::TermId| {
             s.check(p, &[pin_a, pin_b, extra]) == SatResult::Sat
         };
-        prop_assert_eq!(sat(&mut solver, &pool, ult), am < bm);
+        assert_eq!(sat(&mut solver, &pool, ult), am < bm);
         let expect_slt = pokemu_solver::sext64(w, am) < pokemu_solver::sext64(w, bm);
-        prop_assert_eq!(sat(&mut solver, &pool, slt), expect_slt);
-        prop_assert_eq!(sat(&mut solver, &pool, eq), am == bm);
+        assert_eq!(sat(&mut solver, &pool, slt), expect_slt);
+        assert_eq!(sat(&mut solver, &pool, eq), am == bm);
     }
 }
 

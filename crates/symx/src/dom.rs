@@ -221,21 +221,34 @@ impl Dom for Concrete {
 
     fn add(&mut self, a: CVal, b: CVal) -> CVal {
         debug_assert_eq!(a.w, b.w);
-        CVal { v: mask(a.w, a.v.wrapping_add(b.v)), w: a.w }
+        CVal {
+            v: mask(a.w, a.v.wrapping_add(b.v)),
+            w: a.w,
+        }
     }
 
     fn sub(&mut self, a: CVal, b: CVal) -> CVal {
         debug_assert_eq!(a.w, b.w);
-        CVal { v: mask(a.w, a.v.wrapping_sub(b.v)), w: a.w }
+        CVal {
+            v: mask(a.w, a.v.wrapping_sub(b.v)),
+            w: a.w,
+        }
     }
 
     fn mul(&mut self, a: CVal, b: CVal) -> CVal {
         debug_assert_eq!(a.w, b.w);
-        CVal { v: mask(a.w, a.v.wrapping_mul(b.v)), w: a.w }
+        CVal {
+            v: mask(a.w, a.v.wrapping_mul(b.v)),
+            w: a.w,
+        }
     }
 
     fn udiv(&mut self, a: CVal, b: CVal) -> CVal {
-        let v = if b.v == 0 { mask(a.w, u64::MAX) } else { a.v / b.v };
+        let v = if b.v == 0 {
+            mask(a.w, u64::MAX)
+        } else {
+            a.v / b.v
+        };
         CVal { v, w: a.w }
     }
 
@@ -245,27 +258,46 @@ impl Dom for Concrete {
     }
 
     fn and(&mut self, a: CVal, b: CVal) -> CVal {
-        CVal { v: a.v & b.v, w: a.w }
+        CVal {
+            v: a.v & b.v,
+            w: a.w,
+        }
     }
 
     fn or(&mut self, a: CVal, b: CVal) -> CVal {
-        CVal { v: a.v | b.v, w: a.w }
+        CVal {
+            v: a.v | b.v,
+            w: a.w,
+        }
     }
 
     fn xor(&mut self, a: CVal, b: CVal) -> CVal {
-        CVal { v: a.v ^ b.v, w: a.w }
+        CVal {
+            v: a.v ^ b.v,
+            w: a.w,
+        }
     }
 
     fn not(&mut self, a: CVal) -> CVal {
-        CVal { v: mask(a.w, !a.v), w: a.w }
+        CVal {
+            v: mask(a.w, !a.v),
+            w: a.w,
+        }
     }
 
     fn neg(&mut self, a: CVal) -> CVal {
-        CVal { v: mask(a.w, a.v.wrapping_neg()), w: a.w }
+        CVal {
+            v: mask(a.w, a.v.wrapping_neg()),
+            w: a.w,
+        }
     }
 
     fn shl(&mut self, a: CVal, b: CVal) -> CVal {
-        let v = if b.v >= a.w as u64 { 0 } else { mask(a.w, a.v << b.v) };
+        let v = if b.v >= a.w as u64 {
+            0
+        } else {
+            mask(a.w, a.v << b.v)
+        };
         CVal { v, w: a.w }
     }
 
@@ -276,20 +308,33 @@ impl Dom for Concrete {
 
     fn ashr(&mut self, a: CVal, b: CVal) -> CVal {
         let sx = sext64(a.w, a.v);
-        let v = if b.v >= a.w as u64 { mask(a.w, (sx >> 63) as u64) } else { mask(a.w, (sx >> b.v) as u64) };
+        let v = if b.v >= a.w as u64 {
+            mask(a.w, (sx >> 63) as u64)
+        } else {
+            mask(a.w, (sx >> b.v) as u64)
+        };
         CVal { v, w: a.w }
     }
 
     fn eq(&mut self, a: CVal, b: CVal) -> CVal {
-        CVal { v: (a.v == b.v) as u64, w: 1 }
+        CVal {
+            v: (a.v == b.v) as u64,
+            w: 1,
+        }
     }
 
     fn ult(&mut self, a: CVal, b: CVal) -> CVal {
-        CVal { v: (a.v < b.v) as u64, w: 1 }
+        CVal {
+            v: (a.v < b.v) as u64,
+            w: 1,
+        }
     }
 
     fn slt(&mut self, a: CVal, b: CVal) -> CVal {
-        CVal { v: (sext64(a.w, a.v) < sext64(b.w, b.v)) as u64, w: 1 }
+        CVal {
+            v: (sext64(a.w, a.v) < sext64(b.w, b.v)) as u64,
+            w: 1,
+        }
     }
 
     fn ite(&mut self, c: CVal, t: CVal, e: CVal) -> CVal {
@@ -302,12 +347,18 @@ impl Dom for Concrete {
 
     fn extract(&mut self, a: CVal, hi: u8, lo: u8) -> CVal {
         let w = hi - lo + 1;
-        CVal { v: mask(w, a.v >> lo), w }
+        CVal {
+            v: mask(w, a.v >> lo),
+            w,
+        }
     }
 
     fn concat(&mut self, hi: CVal, lo: CVal) -> CVal {
         let w = hi.w + lo.w;
-        CVal { v: (hi.v << lo.w) | lo.v, w }
+        CVal {
+            v: (hi.v << lo.w) | lo.v,
+            w,
+        }
     }
 
     fn zext(&mut self, a: CVal, w: Width) -> CVal {
@@ -317,7 +368,10 @@ impl Dom for Concrete {
 
     fn sext(&mut self, a: CVal, w: Width) -> CVal {
         debug_assert!(w >= a.w);
-        CVal { v: mask(w, sext64(a.w, a.v) as u64), w }
+        CVal {
+            v: mask(w, sext64(a.w, a.v) as u64),
+            w,
+        }
     }
 
     fn branch(&mut self, cond: CVal, _site: &'static str) -> bool {

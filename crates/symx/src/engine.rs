@@ -16,9 +16,8 @@
 
 use std::collections::HashMap;
 
+use pokemu_rt::Rng;
 use pokemu_solver::{BvSolver, Model, SatResult, TermId, TermPool, VarId, Width};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::dom::Dom;
 use crate::summary::Summary;
@@ -39,7 +38,11 @@ pub struct ExploreConfig {
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { max_paths: 8192, max_branches_per_path: 4096, seed: 0x9e3779b97f4a7c15 }
+        ExploreConfig {
+            max_paths: 8192,
+            max_branches_per_path: 4096,
+            seed: 0x9e3779b97f4a7c15,
+        }
     }
 }
 
@@ -108,7 +111,7 @@ pub struct Executor {
     pool: TermPool,
     solver: BvSolver,
     tree: DecisionTree,
-    rng: StdRng,
+    rng: Rng,
     config: ExploreConfig,
     stats: ExploreStats,
     /// Stable name -> variable mapping so "the same" machine-state location
@@ -146,7 +149,7 @@ impl Executor {
             pool: TermPool::new(),
             solver: BvSolver::new(),
             tree: DecisionTree::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             config,
             stats: ExploreStats::default(),
             named_vars: HashMap::new(),
@@ -241,7 +244,10 @@ impl Executor {
     /// or constants. Nondeterministic programs are detected (the replay
     /// diverges from the decision tree) and aborted with `complete = false`.
     pub fn explore<T>(&mut self, mut f: impl FnMut(&mut Executor) -> T) -> Exploration<T> {
-        assert!(!self.exploring, "explore is not reentrant; use summarize for nested runs");
+        assert!(
+            !self.exploring,
+            "explore is not reentrant; use summarize for nested runs"
+        );
         self.exploring = true;
         self.tree = DecisionTree::new();
         self.pick_cache.clear();
@@ -271,7 +277,11 @@ impl Executor {
                 .check_with_model(&self.pool, &self.path)
                 .expect("path condition invariantly satisfiable");
             self.stats.paths += 1;
-            paths.push(PathOutcome { value, path_condition: self.path.clone(), model });
+            paths.push(PathOutcome {
+                value,
+                path_condition: self.path.clone(),
+                model,
+            });
         }
         let hit_cap = paths.len() >= self.config.max_paths && !self.tree.fully_explored();
         self.exploring = false;
@@ -468,7 +478,11 @@ impl Dom for Executor {
                 self.tree.set_feasibility(
                     node,
                     dir,
-                    if feas { Feasibility::Feasible } else { Feasibility::Infeasible },
+                    if feas {
+                        Feasibility::Feasible
+                    } else {
+                        Feasibility::Infeasible
+                    },
                 );
             }
         }
@@ -665,7 +679,10 @@ mod tests {
 
     #[test]
     fn path_cap_marks_incomplete() {
-        let mut exec = Executor::with_config(ExploreConfig { max_paths: 4, ..Default::default() });
+        let mut exec = Executor::with_config(ExploreConfig {
+            max_paths: 4,
+            ..Default::default()
+        });
         let r = exec.explore(|e| {
             let x = e.fresh_input(8, "x");
             e.concretize(x, "wide") // 256 feasible values

@@ -58,9 +58,14 @@ pub fn minimize(
     let satisfied = |env: &HashMap<VarId, u64>, stats: &mut MinimizeStats| -> bool {
         stats.evaluations += 1;
         let mut cache = HashMap::new();
-        path_condition.iter().all(|&t| pool.eval_cached(t, env, &mut cache) == 1)
+        path_condition
+            .iter()
+            .all(|&t| pool.eval_cached(t, env, &mut cache) == 1)
     };
-    debug_assert!(satisfied(&env.clone(), &mut stats), "model must satisfy the path condition");
+    debug_assert!(
+        satisfied(&env.clone(), &mut stats),
+        "model must satisfy the path condition"
+    );
 
     // Deterministic iteration order: by variable id, then bit index.
     let mut vars: Vec<VarId> = env.keys().copied().collect();

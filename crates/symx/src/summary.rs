@@ -34,7 +34,11 @@ impl Summary {
     /// # Panics
     ///
     /// Panics if `paths` is empty or output arities differ.
-    pub fn fold(pool: &mut TermPool, formals: Vec<VarId>, paths: &[PathOutcome<Vec<TermId>>]) -> Self {
+    pub fn fold(
+        pool: &mut TermPool,
+        formals: Vec<VarId>,
+        paths: &[PathOutcome<Vec<TermId>>],
+    ) -> Self {
         assert!(!paths.is_empty(), "cannot summarize zero paths");
         let arity = paths[0].value.len();
         for p in paths {
@@ -50,7 +54,11 @@ impl Summary {
             }
             outputs.push(acc);
         }
-        Summary { formals, outputs, cases: paths.len() }
+        Summary {
+            formals,
+            outputs,
+            cases: paths.len(),
+        }
     }
 
     /// Number of folded cases (execution paths of the summarized code).
@@ -70,10 +78,21 @@ impl Summary {
     ///
     /// Panics if `args` does not match the formal parameter count or widths.
     pub fn apply(&self, pool: &mut TermPool, args: &[TermId]) -> Vec<TermId> {
-        assert_eq!(args.len(), self.formals.len(), "summary argument count mismatch");
-        let map: HashMap<VarId, TermId> =
-            self.formals.iter().copied().zip(args.iter().copied()).collect();
-        self.outputs.iter().map(|&o| pool.substitute(o, &map)).collect()
+        assert_eq!(
+            args.len(),
+            self.formals.len(),
+            "summary argument count mismatch"
+        );
+        let map: HashMap<VarId, TermId> = self
+            .formals
+            .iter()
+            .copied()
+            .zip(args.iter().copied())
+            .collect();
+        self.outputs
+            .iter()
+            .map(|&o| pool.substitute(o, &map))
+            .collect()
     }
 }
 
@@ -114,8 +133,7 @@ mod tests {
     #[test]
     fn summary_agrees_with_direct_execution() {
         let mut exec = Executor::new();
-        let summary =
-            exec.summarize(&[(8, "x")], |e, formals| vec![quirky_inc(e, formals[0])]);
+        let summary = exec.summarize(&[(8, "x")], |e, formals| vec![quirky_inc(e, formals[0])]);
         assert_eq!(summary.cases(), 3);
         assert_eq!(summary.arity(), 1);
 
@@ -138,8 +156,7 @@ mod tests {
     #[test]
     fn summary_replaces_branching_at_use_sites() {
         let mut exec = Executor::new();
-        let summary =
-            exec.summarize(&[(8, "x")], |e, formals| vec![quirky_inc(e, formals[0])]);
+        let summary = exec.summarize(&[(8, "x")], |e, formals| vec![quirky_inc(e, formals[0])]);
         exec.register_summary("quirky_inc", summary);
 
         // With the summary, the caller's exploration has a single path even

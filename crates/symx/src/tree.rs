@@ -65,7 +65,9 @@ impl Default for DecisionTree {
 impl DecisionTree {
     /// Creates a tree containing only the root.
     pub fn new() -> Self {
-        DecisionTree { nodes: vec![Node::new(None)] }
+        DecisionTree {
+            nodes: vec![Node::new(None)],
+        }
     }
 
     /// Number of nodes allocated (a measure of explored branch sites).
@@ -170,10 +172,7 @@ impl DecisionTree {
     pub fn candidate_dirs(&self, n: NodeId) -> Vec<bool> {
         [false, true]
             .into_iter()
-            .filter(|&d| {
-                !self.dir_done(n, d)
-                    && self.feasibility(n, d) != Feasibility::Infeasible
-            })
+            .filter(|&d| !self.dir_done(n, d) && self.feasibility(n, d) != Feasibility::Infeasible)
             .collect()
     }
 }

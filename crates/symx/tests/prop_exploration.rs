@@ -5,7 +5,6 @@ use std::collections::{HashMap, HashSet};
 
 use pokemu_solver::VarId;
 use pokemu_symx::{Dom, Executor, ExploreConfig};
-use proptest::prelude::*;
 
 /// A tiny branching program over one 4-bit input: a cascade of threshold
 /// branches. Returns the trace of branch decisions as a bitmask.
@@ -21,13 +20,11 @@ fn threshold_program<D: Dom>(d: &mut D, x: D::V, cuts: &[u8]) -> u32 {
     trace
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
+pokemu_rt::prop! {
     /// Exploration discovers exactly the set of traces reachable by some
     /// concrete input — no more, no fewer (soundness + completeness).
-    #[test]
-    fn exploration_matches_brute_force(cuts in prop::collection::vec(0u8..16, 1..5)) {
+    fn exploration_matches_brute_force(g, cases = 24) {
+        let cuts = g.vec(1, 5, |g| g.range(0u8..16));
         // Brute force over all 16 inputs.
         let mut expected: HashSet<u32> = HashSet::new();
         for x in 0u8..16 {
@@ -46,10 +43,10 @@ proptest! {
             let x = e.fresh_input(4, "x");
             threshold_program(e, x, &cuts2)
         });
-        prop_assert!(r.complete);
+        assert!(r.complete);
         let got: HashSet<u32> = r.paths.iter().map(|p| p.value).collect();
-        prop_assert_eq!(&got, &expected, "traces must match brute force");
-        prop_assert_eq!(r.paths.len(), expected.len(), "one path per distinct trace");
+        assert_eq!(&got, &expected, "traces must match brute force");
+        assert_eq!(r.paths.len(), expected.len(), "one path per distinct trace");
 
         // Soundness: each path's model reproduces its trace concretely.
         for p in &r.paths {
@@ -60,13 +57,13 @@ proptest! {
                     trace |= 1 << i;
                 }
             }
-            prop_assert_eq!(trace, p.value, "model input {} must replay the path", x);
+            assert_eq!(trace, p.value, "model input {} must replay the path", x);
         }
     }
 
     /// Path conditions always evaluate to true under their own model.
-    #[test]
-    fn models_satisfy_path_conditions(cuts in prop::collection::vec(0u8..16, 1..4)) {
+    fn models_satisfy_path_conditions(g, cases = 24) {
+        let cuts = g.vec(1, 4, |g| g.range(0u8..16));
         let mut exec = Executor::new();
         let cuts2 = cuts.clone();
         let r = exec.explore(move |e| {
@@ -75,22 +72,23 @@ proptest! {
             let s = e.add(x, y);
             threshold_program(e, s, &cuts2)
         });
-        prop_assert!(r.complete);
+        assert!(r.complete);
         for p in &r.paths {
             let mut env: HashMap<VarId, u64> = HashMap::new();
             for (_, v) in exec.named_vars() {
                 env.insert(v, p.model.value_or(v, 0));
             }
             for &t in &p.path_condition {
-                prop_assert_eq!(exec.pool().eval(t, &env), 1);
+                assert_eq!(exec.pool().eval(t, &env), 1);
             }
         }
     }
 
     /// `concretize` enumerates exactly the feasible values of a constrained
     /// word.
-    #[test]
-    fn concretize_enumeration_is_exact(lo in 0u8..12, span in 1u8..5) {
+    fn concretize_enumeration_is_exact(g, cases = 24) {
+        let lo = g.range(0u8..12);
+        let span = g.range(1u8..5);
         let hi = lo.saturating_add(span).min(15);
         let mut exec = Executor::new();
         let r = exec.explore(move |e| {
@@ -103,11 +101,11 @@ proptest! {
             e.assume(le);
             e.concretize(x, "value")
         });
-        prop_assert!(r.complete);
+        assert!(r.complete);
         let mut got: Vec<u64> = r.paths.iter().map(|p| p.value).collect();
         got.sort_unstable();
         let expected: Vec<u64> = (lo as u64..=hi as u64).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }
 
@@ -115,7 +113,10 @@ proptest! {
 /// contains nested loops.
 #[test]
 fn nested_loops_terminate_and_cover() {
-    let mut exec = Executor::with_config(ExploreConfig { max_paths: 256, ..Default::default() });
+    let mut exec = Executor::with_config(ExploreConfig {
+        max_paths: 256,
+        ..Default::default()
+    });
     let r = exec.explore(|e| {
         let n = e.fresh_input(4, "n");
         let four = e.constant(4, 4);

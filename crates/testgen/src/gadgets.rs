@@ -126,9 +126,11 @@ impl GadgetPlan {
                 StateItem::Gpr(r, v) => {
                     explicit_gpr.insert(r, v);
                 }
-                StateItem::Eflags(_) => {
-                    gadgets.push(Gadget { phase: Phase::Eflags, rank, item: *item })
-                }
+                StateItem::Eflags(_) => gadgets.push(Gadget {
+                    phase: Phase::Eflags,
+                    rank,
+                    item: *item,
+                }),
                 StateItem::MemByte(addr, _) => {
                     // Page-table bytes are emitted after other memory so a
                     // not-present page cannot break the remaining writes.
@@ -141,7 +143,9 @@ impl GadgetPlan {
                     // A changed descriptor byte requires refreshing the
                     // cache of any segment whose descriptor contains it.
                     if let Some(seg) = segment_of_gdt_byte(addr) {
-                        seg_reloads.entry(seg).or_insert_with(|| layout::baseline_selector(seg));
+                        seg_reloads
+                            .entry(seg)
+                            .or_insert_with(|| layout::baseline_selector(seg));
                     }
                 }
                 StateItem::Selector(seg, sel) => {
@@ -149,14 +153,26 @@ impl GadgetPlan {
                 }
                 StateItem::Cr0(_) | StateItem::Cr4(_) | StateItem::Cr3Flags(_) => {
                     scratched.push(Gpr::Eax);
-                    gadgets.push(Gadget { phase: Phase::ControlRegs, rank, item: *item });
+                    gadgets.push(Gadget {
+                        phase: Phase::ControlRegs,
+                        rank,
+                        item: *item,
+                    });
                 }
                 StateItem::GdtrLimit(_) | StateItem::IdtrLimit(_) => {
-                    gadgets.push(Gadget { phase: Phase::TableRegs, rank, item: *item });
+                    gadgets.push(Gadget {
+                        phase: Phase::TableRegs,
+                        rank,
+                        item: *item,
+                    });
                 }
                 StateItem::Msr(_, _) => {
                     scratched.extend([Gpr::Eax, Gpr::Ecx, Gpr::Edx]);
-                    gadgets.push(Gadget { phase: Phase::Msrs, rank, item: *item });
+                    gadgets.push(Gadget {
+                        phase: Phase::Msrs,
+                        rank,
+                        item: *item,
+                    });
                 }
             }
         }
@@ -182,7 +198,11 @@ impl GadgetPlan {
             gpr_rank += 1;
             // ESP last: later gadgets must not use the test stack pointer.
             let rank = if r == Gpr::Esp { 1_000_000 } else { gpr_rank };
-            gadgets.push(Gadget { phase: Phase::Gprs, rank, item: StateItem::Gpr(r, v) });
+            gadgets.push(Gadget {
+                phase: Phase::Gprs,
+                rank,
+                item: StateItem::Gpr(r, v),
+            });
         }
 
         // Topological order: phases are a DAG by construction; verify the
@@ -210,7 +230,10 @@ impl GadgetPlan {
 
     /// Human-readable listing (used by the Fig. 5 example binary).
     pub fn describe(&self) -> Vec<String> {
-        self.gadgets.iter().map(|g| format!("{:?}", g.item)).collect()
+        self.gadgets
+            .iter()
+            .map(|g| format!("{:?}", g.item))
+            .collect()
     }
 }
 
@@ -220,7 +243,9 @@ fn segment_of_gdt_byte(addr: u32) -> Option<Seg> {
         return None;
     }
     let index = ((addr - layout::GDT_BASE) / 8) as u16;
-    Seg::ALL.into_iter().find(|&s| layout::gdt_index(s) == index)
+    Seg::ALL
+        .into_iter()
+        .find(|&s| layout::gdt_index(s) == index)
 }
 
 fn emit_gadget(a: &mut Asm, code_base: u32, item: &StateItem) {
@@ -318,16 +343,16 @@ mod tests {
         assert!(desc.iter().any(|d| d.contains("Selector(Ss")), "{desc:?}");
         let mem = desc.iter().rposition(|d| d.contains("MemByte")).unwrap();
         let reload = desc.iter().position(|d| d.contains("Selector")).unwrap();
-        assert!(reload > mem, "descriptor bytes must be written before the reload");
+        assert!(
+            reload > mem,
+            "descriptor bytes must be written before the reload"
+        );
     }
 
     #[test]
     fn eflags_precedes_esp() {
         let state = TestState {
-            items: vec![
-                StateItem::Gpr(Gpr::Esp, 0x2007dc),
-                StateItem::Eflags(0x246),
-            ],
+            items: vec![StateItem::Gpr(Gpr::Esp, 0x2007dc), StateItem::Eflags(0x246)],
         };
         let plan = GadgetPlan::build(&state).unwrap();
         let desc = plan.describe();

@@ -93,7 +93,7 @@ pub fn emit_baseline(a: &mut Asm, code_base: u32) {
     a.mov_r32_imm32(Gpr::Ecx, 1024);
     a.raw(&[0xfc]); // cld
     a.raw(&[0xf3, 0xab]); // rep stosd
-    // --- page table: identity map of the 4-MiB physical memory ---
+                          // --- page table: identity map of the 4-MiB physical memory ---
     a.mov_r32_imm32(Gpr::Edi, PT_BASE);
     a.mov_r32_imm32(Gpr::Eax, 0x7);
     a.mov_r32_imm32(Gpr::Ecx, 1024);
@@ -131,7 +131,15 @@ pub fn emit_baseline(a: &mut Asm, code_base: u32) {
     a.mov_cr0_eax();
 
     // --- normalize registers and flags ---
-    for r in [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Ebp, Gpr::Esi, Gpr::Edi] {
+    for r in [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ] {
         a.mov_r32_imm32(r, 0);
     }
     a.push_imm32(BASE_EFLAGS);
@@ -154,7 +162,11 @@ pub struct BootState {
 
 /// The boot state used by every target.
 pub fn boot_state() -> BootState {
-    BootState { eip: CODE_BASE, esp: STACK_TOP, cr0: 1 }
+    BootState {
+        eip: CODE_BASE,
+        esp: STACK_TOP,
+        cr0: 1,
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use pokemu_isa::asm::Asm;
 
-use crate::gadgets::{GadgetPlan, GadgetError, TestState};
+use crate::gadgets::{GadgetError, GadgetPlan, TestState};
 use crate::layout::{self, CODE_BASE};
 
 /// A runnable test: code image plus metadata.
@@ -31,7 +31,11 @@ impl TestProgram {
     /// # Errors
     ///
     /// Propagates [`GadgetError`] if the state cannot be sequenced.
-    pub fn build(name: String, state: TestState, test_insn: &[u8]) -> Result<TestProgram, GadgetError> {
+    pub fn build(
+        name: String,
+        state: TestState,
+        test_insn: &[u8],
+    ) -> Result<TestProgram, GadgetError> {
         let plan = GadgetPlan::build(&state)?;
         let mut a = Asm::new();
         layout::emit_baseline(&mut a, CODE_BASE);

@@ -76,21 +76,29 @@ fn baseline_plus_nop_halts_on_both_emulators() {
     let hs = hi.snapshot(hi_exit);
     let ls = lo.snapshot(lo_exit);
     let diffs = hs.diff(&ls);
-    assert!(diffs.is_empty(), "baseline must be identical:\n{}", diffs.join("\n"));
+    assert!(
+        diffs.is_empty(),
+        "baseline must be identical:\n{}",
+        diffs.join("\n")
+    );
 
     // Paging is on and the environment is as §4.1 describes.
     assert_eq!(hs.cr0 & 0x8000_0001, 0x8000_0001, "PE and PG set");
     assert_eq!(hs.cr3 & 0xffff_f000, layout::PD_BASE);
     assert_eq!(hs.gdtr, (layout::GDT_BASE, layout::GDT_LIMIT));
-    assert_eq!(hs.segs[Seg::Ss as usize].selector, 10 << 3, "SS uses GDT entry 10");
+    assert_eq!(
+        hs.segs[Seg::Ss as usize].selector,
+        10 << 3,
+        "SS uses GDT entry 10"
+    );
     assert_eq!(hs.gpr, [0, 0, 0, 0, layout::STACK_TOP, 0, 0, 0]);
     assert_eq!(hs.eflags, layout::BASE_EFLAGS);
 }
 
 #[test]
 fn fig5_push_eax_test_runs_on_both() {
-    use pokemu_testgen::{StateItem, TestState};
     use pokemu_isa::state::Gpr;
+    use pokemu_testgen::{StateItem, TestState};
     let state = TestState {
         items: vec![
             StateItem::Gpr(Gpr::Esp, 0x002007dc),
@@ -112,7 +120,10 @@ fn fig5_push_eax_test_runs_on_both() {
 
     let mut lo = boot_lofi(&prog, Fidelity::QEMU_LIKE);
     let lo_exit = lo.run(20_000);
-    assert_eq!(lo_exit, LoExit::Exception(pokemu_isa::Exception::Ss(10 << 3)));
+    assert_eq!(
+        lo_exit,
+        LoExit::Exception(pokemu_isa::Exception::Ss(10 << 3))
+    );
 
     // And the final states agree byte for byte.
     let d = hi.snapshot(hi_exit).diff(&lo.snapshot(lo_exit));

@@ -44,18 +44,24 @@ fn main() {
         hifi_raw += r.hifi_differences;
         for (cause, count, examples) in r.lofi_clusters.iter() {
             for _ in 0..count {
-                lofi_total.add(examples.first().map(String::as_str).unwrap_or("?"), &pokemu::harness::Difference {
-                    components: Vec::new(),
-                    cause: cause.clone(),
-                });
+                lofi_total.add(
+                    examples.first().map(String::as_str).unwrap_or("?"),
+                    &pokemu::harness::Difference {
+                        components: Vec::new(),
+                        cause: cause.clone(),
+                    },
+                );
             }
         }
         for (cause, count, examples) in r.hifi_clusters.iter() {
             for _ in 0..count {
-                hifi_total.add(examples.first().map(String::as_str).unwrap_or("?"), &pokemu::harness::Difference {
-                    components: Vec::new(),
-                    cause: cause.clone(),
-                });
+                hifi_total.add(
+                    examples.first().map(String::as_str).unwrap_or("?"),
+                    &pokemu::harness::Difference {
+                        components: Vec::new(),
+                        cause: cause.clone(),
+                    },
+                );
             }
         }
     }

@@ -31,12 +31,21 @@ fn main() {
     );
     println!("test programs (paths): {}", report.total_paths);
     println!();
-    println!("differences vs hardware (raw):      lofi={}  hifi={}", report.lofi_differences, report.hifi_differences);
-    println!("after undefined-behavior filter:    lofi={}  hifi={}", report.lofi_filtered, report.hifi_filtered);
+    println!(
+        "differences vs hardware (raw):      lofi={}  hifi={}",
+        report.lofi_differences, report.hifi_differences
+    );
+    println!(
+        "after undefined-behavior filter:    lofi={}  hifi={}",
+        report.lofi_filtered, report.hifi_filtered
+    );
     println!();
     println!("Lo-Fi root-cause clusters:");
     for (cause, count, examples) in report.lofi_clusters.iter() {
-        println!("  {count:6}  {cause}   e.g. {}", examples.first().cloned().unwrap_or_default());
+        println!(
+            "  {count:6}  {cause}   e.g. {}",
+            examples.first().cloned().unwrap_or_default()
+        );
     }
     if report.lofi_clusters.is_empty() {
         println!("  (none)");
@@ -44,7 +53,10 @@ fn main() {
     println!();
     println!("Hi-Fi root-cause clusters:");
     for (cause, count, examples) in report.hifi_clusters.iter() {
-        println!("  {count:6}  {cause}   e.g. {}", examples.first().cloned().unwrap_or_default());
+        println!(
+            "  {count:6}  {cause}   e.g. {}",
+            examples.first().cloned().unwrap_or_default()
+        );
     }
     if report.hifi_clusters.is_empty() {
         println!("  (none)");

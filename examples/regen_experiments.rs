@@ -80,7 +80,9 @@ fn e2_e3_pipeline(full: bool, tiny: bool) -> usize {
     } else if tiny {
         vec![0x50, 0x74, 0x8e, 0xa2, 0xc9, 0xcf, 0xd6]
     } else {
-        vec![0x00, 0x40, 0x50, 0x74, 0x8e, 0x98, 0xa2, 0xc1, 0xc9, 0xcf, 0xd6, 0xf7, 0x0f]
+        vec![
+            0x00, 0x40, 0x50, 0x74, 0x8e, 0x98, 0xa2, 0xc1, 0xc9, 0xcf, 0xd6, 0xf7, 0x0f,
+        ]
     };
     let t = Instant::now();
     let mut insns = 0;
@@ -91,7 +93,13 @@ fn e2_e3_pipeline(full: bool, tiny: bool) -> usize {
     for byte in sweep {
         let r = run_cross_validation(PipelineConfig {
             first_byte: Some(byte),
-            max_paths_per_insn: if full { 1024 } else if tiny { 96 } else { 192 },
+            max_paths_per_insn: if full {
+                1024
+            } else if tiny {
+                96
+            } else {
+                192
+            },
             ..PipelineConfig::default()
         });
         insns += r.unique_instructions;
@@ -105,14 +113,19 @@ fn e2_e3_pipeline(full: bool, tiny: bool) -> usize {
             *lofi_causes.entry(cause.to_string()).or_default() += count;
         }
     }
-    println!("measured: {insns} instructions, {paths} paths (test programs) in {:.1?}", t.elapsed());
+    println!(
+        "measured: {insns} instructions, {paths} paths (test programs) in {:.1?}",
+        t.elapsed()
+    );
     println!(
         "complete path coverage: {full_cov}/{insns} instructions = {:.1}% (paper: ~95%)",
         100.0 * full_cov as f64 / insns.max(1) as f64
     );
-    println!("raw differences vs hardware:  lofi {lofi_raw} ({:.1}%)  hifi {hifi_raw} ({:.1}%)",
+    println!(
+        "raw differences vs hardware:  lofi {lofi_raw} ({:.1}%)  hifi {hifi_raw} ({:.1}%)",
         100.0 * lofi_raw as f64 / paths.max(1) as f64,
-        100.0 * hifi_raw as f64 / paths.max(1) as f64);
+        100.0 * hifi_raw as f64 / paths.max(1) as f64
+    );
     println!("   shape check: lofi diffs >> hifi diffs, as in the paper (60,770 vs 15,219)");
     println!("after UB filter: lofi {lofi_filt}  hifi {hifi_filt}");
     println!("## E4: Lo-Fi root causes (paper section 6.2 classes)");
@@ -127,7 +140,10 @@ fn e5_random_vs_lifting(lifting_paths: usize) {
     println!("## E5: random testing vs path-exploration lifting");
     println!("   (paper: random testing misses corner cases, e.g. iret straddling a fault)");
     let t = Instant::now();
-    let r = run_random_baseline(RandomConfig { tests: lifting_paths.clamp(100, 3000), ..Default::default() });
+    let r = run_random_baseline(RandomConfig {
+        tests: lifting_paths.clamp(100, 3000),
+        ..Default::default()
+    });
     let named: Vec<String> = r
         .lofi_clusters
         .iter()
@@ -154,7 +170,14 @@ fn e6_cost_breakdown() {
     let baseline = baseline_snapshot();
     let insn = [0xf7u8, 0xf1]; // div ecx: a branchy instruction
     let t = Instant::now();
-    let space = explore_state_space(&insn, &baseline, StateSpaceConfig { max_paths: 256, ..Default::default() });
+    let space = explore_state_space(
+        &insn,
+        &baseline,
+        StateSpaceConfig {
+            max_paths: 256,
+            ..Default::default()
+        },
+    );
     let gen_time = t.elapsed();
     let progs = pokemu::explore::to_test_programs(&space, "e6");
     let t = Instant::now();
@@ -181,13 +204,18 @@ fn e6_cost_breakdown() {
             threads,
             ..PipelineConfig::default()
         });
-        println!("pipeline on opcode 0x80 with {threads} thread(s): {:.1?}", t.elapsed());
+        println!(
+            "pipeline on opcode 0x80 with {threads} thread(s): {:.1?}",
+            t.elapsed()
+        );
     }
     println!();
 }
 
 fn e7_summarization() {
-    println!("## E7: descriptor-cache summarization (paper: 23 paths/segment, 23^6 blowup avoided)");
+    println!(
+        "## E7: descriptor-cache summarization (paper: 23 paths/segment, 23^6 blowup avoided)"
+    );
     let baseline = baseline_snapshot();
     let insn = [0x8e, 0xd8]; // mov ds, ax: a segment-loading instruction
     for (label, use_summaries) in [("with summaries", true), ("without", false)] {
@@ -195,7 +223,11 @@ fn e7_summarization() {
         let space = explore_state_space(
             &insn,
             &baseline,
-            StateSpaceConfig { max_paths: 512, use_summaries, ..Default::default() },
+            StateSpaceConfig {
+                max_paths: 512,
+                use_summaries,
+                ..Default::default()
+            },
         );
         println!(
             "  {label:16}: {} paths, complete={}, {} solver queries, {:.1?}",
@@ -216,7 +248,14 @@ fn e8_minimization() {
     let mut programs = 0usize;
     let mut failures = 0usize;
     for insn in [vec![0xc9], vec![0x74, 0x02], vec![0xf7, 0xf1], vec![0x50]] {
-        let space = explore_state_space(&insn, &baseline, StateSpaceConfig { max_paths: 128, ..Default::default() });
+        let space = explore_state_space(
+            &insn,
+            &baseline,
+            StateSpaceConfig {
+                max_paths: 128,
+                ..Default::default()
+            },
+        );
         for p in &space.paths {
             before += p.minimize.bits_before;
             after += p.minimize.bits_after;
@@ -238,9 +277,23 @@ fn a1_fidelity_ablation() {
     println!("## A1: fidelity ablation — each fix eliminates its cluster");
     let cases: &[(&str, u8, Fidelity)] = &[
         ("baseline (QEMU-like)", 0xc9, Fidelity::QEMU_LIKE),
-        ("+atomic leave", 0xc9, Fidelity { atomic_leave: true, ..Fidelity::QEMU_LIKE }),
+        (
+            "+atomic leave",
+            0xc9,
+            Fidelity {
+                atomic_leave: true,
+                ..Fidelity::QEMU_LIKE
+            },
+        ),
         ("baseline (QEMU-like)", 0xa2, Fidelity::QEMU_LIKE),
-        ("+segment checks", 0xa2, Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE }),
+        (
+            "+segment checks",
+            0xa2,
+            Fidelity {
+                enforce_segment_checks: true,
+                ..Fidelity::QEMU_LIKE
+            },
+        ),
     ];
     for &(label, byte, fid) in cases {
         let r = run_cross_validation(PipelineConfig {
@@ -249,8 +302,16 @@ fn a1_fidelity_ablation() {
             lofi_fidelity: fid,
             ..PipelineConfig::default()
         });
-        let causes: Vec<String> = r.lofi_clusters.iter().map(|(c, n, _)| format!("{c} x{n}")).collect();
-        println!("  opcode {byte:#04x} {label:22}: {} filtered diffs [{}]", r.lofi_filtered, causes.join("; "));
+        let causes: Vec<String> = r
+            .lofi_clusters
+            .iter()
+            .map(|(c, n, _)| format!("{c} x{n}"))
+            .collect();
+        println!(
+            "  opcode {byte:#04x} {label:22}: {} filtered diffs [{}]",
+            r.lofi_filtered,
+            causes.join("; ")
+        );
     }
     println!();
 }

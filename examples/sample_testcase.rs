@@ -24,8 +24,14 @@ fn main() {
     };
     println!("== Figure 5(a): machine-state assignment ==");
     println!("  %esp             : 0x002007dc");
-    println!("  {:#010x}: 0x93 (gdt 10, type/S/DPL/P byte)", layout::GDT_BASE + 10 * 8 + 5);
-    println!("  {:#010x}: 0x00 (gdt 10, limit-high/flags byte: G=0 -> tiny limit)", layout::GDT_BASE + 10 * 8 + 6);
+    println!(
+        "  {:#010x}: 0x93 (gdt 10, type/S/DPL/P byte)",
+        layout::GDT_BASE + 10 * 8 + 5
+    );
+    println!(
+        "  {:#010x}: 0x00 (gdt 10, limit-high/flags byte: G=0 -> tiny limit)",
+        layout::GDT_BASE + 10 * 8 + 6
+    );
     println!();
 
     println!("== Figure 5(b): generated test-state initializer ==");
@@ -48,9 +54,18 @@ fn main() {
 
     println!("== Execution on all targets ==");
     let case = run_on_all_targets(&prog, Fidelity::QEMU_LIKE);
-    println!("  hardware: {:?}  esp={:#x}", case.hardware.outcome, case.hardware.gpr[4]);
-    println!("  hi-fi:    {:?}  esp={:#x}", case.hifi.outcome, case.hifi.gpr[4]);
-    println!("  lo-fi:    {:?}  esp={:#x}", case.lofi.outcome, case.lofi.gpr[4]);
+    println!(
+        "  hardware: {:?}  esp={:#x}",
+        case.hardware.outcome, case.hardware.gpr[4]
+    );
+    println!(
+        "  hi-fi:    {:?}  esp={:#x}",
+        case.hifi.outcome, case.hifi.gpr[4]
+    );
+    println!(
+        "  lo-fi:    {:?}  esp={:#x}",
+        case.lofi.outcome, case.lofi.gpr[4]
+    );
     println!();
     match compare(&case.hardware, &case.lofi, &prog.test_insn) {
         None => println!("lo-fi agrees with hardware on this test"),

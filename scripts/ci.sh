@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate for the PokeEMU-rs workspace. The workspace has zero
+# external dependencies, so everything here must pass with no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== cargo test"
+cargo test --workspace --offline -q
+
+echo "== smoke bench (pokemu_rt::bench end to end)"
+cargo run --release --offline -p pokemu-bench --bin smoke-bench
+
+echo "CI OK"

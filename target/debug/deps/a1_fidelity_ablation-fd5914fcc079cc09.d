@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/a1_fidelity_ablation-fd5914fcc079cc09.d: crates/bench/benches/a1_fidelity_ablation.rs
+
+/root/repo/target/debug/deps/a1_fidelity_ablation-fd5914fcc079cc09: crates/bench/benches/a1_fidelity_ablation.rs
+
+crates/bench/benches/a1_fidelity_ablation.rs:

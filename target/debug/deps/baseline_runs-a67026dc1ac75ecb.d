@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_runs-a67026dc1ac75ecb.d: crates/testgen/tests/baseline_runs.rs
+
+/root/repo/target/debug/deps/baseline_runs-a67026dc1ac75ecb: crates/testgen/tests/baseline_runs.rs
+
+crates/testgen/tests/baseline_runs.rs:

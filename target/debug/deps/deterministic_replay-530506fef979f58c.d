@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deterministic_replay-530506fef979f58c.d: crates/core/../../tests/deterministic_replay.rs
+
+/root/repo/target/debug/deps/deterministic_replay-530506fef979f58c: crates/core/../../tests/deterministic_replay.rs
+
+crates/core/../../tests/deterministic_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_vs_reference-2160b4109862fa7e.d: crates/lofi/tests/diff_vs_reference.rs
+
+/root/repo/target/debug/deps/diff_vs_reference-2160b4109862fa7e: crates/lofi/tests/diff_vs_reference.rs
+
+crates/lofi/tests/diff_vs_reference.rs:

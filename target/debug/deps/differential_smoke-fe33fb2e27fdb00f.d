@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_smoke-fe33fb2e27fdb00f.d: crates/core/../../tests/differential_smoke.rs
+
+/root/repo/target/debug/deps/differential_smoke-fe33fb2e27fdb00f: crates/core/../../tests/differential_smoke.rs
+
+crates/core/../../tests/differential_smoke.rs:

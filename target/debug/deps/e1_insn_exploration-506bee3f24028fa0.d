@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_insn_exploration-506bee3f24028fa0.d: crates/bench/benches/e1_insn_exploration.rs
+
+/root/repo/target/debug/deps/e1_insn_exploration-506bee3f24028fa0: crates/bench/benches/e1_insn_exploration.rs
+
+crates/bench/benches/e1_insn_exploration.rs:

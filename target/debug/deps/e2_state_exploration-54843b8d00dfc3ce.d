@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_state_exploration-54843b8d00dfc3ce.d: crates/bench/benches/e2_state_exploration.rs
+
+/root/repo/target/debug/deps/e2_state_exploration-54843b8d00dfc3ce: crates/bench/benches/e2_state_exploration.rs
+
+crates/bench/benches/e2_state_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_cross_validation-63e5546a71d3489d.d: crates/bench/benches/e3_cross_validation.rs
+
+/root/repo/target/debug/deps/e3_cross_validation-63e5546a71d3489d: crates/bench/benches/e3_cross_validation.rs
+
+crates/bench/benches/e3_cross_validation.rs:

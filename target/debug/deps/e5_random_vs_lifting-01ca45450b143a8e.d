@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_random_vs_lifting-01ca45450b143a8e.d: crates/bench/benches/e5_random_vs_lifting.rs
+
+/root/repo/target/debug/deps/e5_random_vs_lifting-01ca45450b143a8e: crates/bench/benches/e5_random_vs_lifting.rs
+
+crates/bench/benches/e5_random_vs_lifting.rs:

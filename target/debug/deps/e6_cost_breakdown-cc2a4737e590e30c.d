@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_cost_breakdown-cc2a4737e590e30c.d: crates/bench/benches/e6_cost_breakdown.rs
+
+/root/repo/target/debug/deps/e6_cost_breakdown-cc2a4737e590e30c: crates/bench/benches/e6_cost_breakdown.rs
+
+crates/bench/benches/e6_cost_breakdown.rs:

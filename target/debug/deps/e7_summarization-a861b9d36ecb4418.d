@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_summarization-a861b9d36ecb4418.d: crates/bench/benches/e7_summarization.rs
+
+/root/repo/target/debug/deps/e7_summarization-a861b9d36ecb4418: crates/bench/benches/e7_summarization.rs
+
+crates/bench/benches/e7_summarization.rs:

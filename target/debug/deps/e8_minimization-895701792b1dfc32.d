@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_minimization-895701792b1dfc32.d: crates/bench/benches/e8_minimization.rs
+
+/root/repo/target/debug/deps/e8_minimization-895701792b1dfc32: crates/bench/benches/e8_minimization.rs
+
+crates/bench/benches/e8_minimization.rs:

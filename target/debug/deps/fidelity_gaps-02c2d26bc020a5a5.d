@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fidelity_gaps-02c2d26bc020a5a5.d: crates/lofi/tests/fidelity_gaps.rs
+
+/root/repo/target/debug/deps/fidelity_gaps-02c2d26bc020a5a5: crates/lofi/tests/fidelity_gaps.rs
+
+crates/lofi/tests/fidelity_gaps.rs:

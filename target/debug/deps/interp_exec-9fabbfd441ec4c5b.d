@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_exec-9fabbfd441ec4c5b.d: crates/isa/tests/interp_exec.rs
+
+/root/repo/target/debug/deps/interp_exec-9fabbfd441ec4c5b: crates/isa/tests/interp_exec.rs
+
+crates/isa/tests/interp_exec.rs:

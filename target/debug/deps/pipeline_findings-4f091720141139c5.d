@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_findings-4f091720141139c5.d: crates/core/../../tests/pipeline_findings.rs
+
+/root/repo/target/debug/deps/pipeline_findings-4f091720141139c5: crates/core/../../tests/pipeline_findings.rs
+
+crates/core/../../tests/pipeline_findings.rs:

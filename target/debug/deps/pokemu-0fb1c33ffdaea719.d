@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu-0fb1c33ffdaea719.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu-0fb1c33ffdaea719.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu-0fb1c33ffdaea719.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

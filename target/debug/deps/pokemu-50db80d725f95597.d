@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu-50db80d725f95597.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu-50db80d725f95597: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu_bench-c05b31f1a8d013c3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_bench-c05b31f1a8d013c3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_bench-c05b31f1a8d013c3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_bench-c8705d0f2a2f68d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu_bench-c8705d0f2a2f68d7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

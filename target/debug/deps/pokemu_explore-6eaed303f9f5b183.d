@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pokemu_explore-6eaed303f9f5b183.d: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/debug/deps/libpokemu_explore-6eaed303f9f5b183.rlib: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/debug/deps/libpokemu_explore-6eaed303f9f5b183.rmeta: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/insn_space.rs:
+crates/explore/src/state_space.rs:
+crates/explore/src/symstate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pokemu_harness-d08d1a4ddbafc968.d: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/debug/deps/libpokemu_harness-d08d1a4ddbafc968.rlib: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/debug/deps/libpokemu_harness-d08d1a4ddbafc968.rmeta: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/compare.rs:
+crates/harness/src/pipeline.rs:
+crates/harness/src/random.rs:
+crates/harness/src/targets.rs:

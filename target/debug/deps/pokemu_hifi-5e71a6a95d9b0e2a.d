@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_hifi-5e71a6a95d9b0e2a.d: crates/hifi/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu_hifi-5e71a6a95d9b0e2a: crates/hifi/src/lib.rs
+
+crates/hifi/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu_hifi-9a570d479b127cba.d: crates/hifi/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hifi-9a570d479b127cba.rlib: crates/hifi/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hifi-9a570d479b127cba.rmeta: crates/hifi/src/lib.rs
+
+crates/hifi/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_hwref-447fa414a058cd3b.d: crates/hwref/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu_hwref-447fa414a058cd3b: crates/hwref/src/lib.rs
+
+crates/hwref/src/lib.rs:

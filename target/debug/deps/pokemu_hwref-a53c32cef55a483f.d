@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu_hwref-a53c32cef55a483f.d: crates/hwref/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hwref-a53c32cef55a483f.rlib: crates/hwref/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hwref-a53c32cef55a483f.rmeta: crates/hwref/src/lib.rs
+
+crates/hwref/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pokemu_solver-e4a8259f2938a92d.d: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/debug/deps/pokemu_solver-e4a8259f2938a92d: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/blast.rs:
+crates/solver/src/sat.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pokemu_symx-ff2a226efab2548b.d: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/debug/deps/libpokemu_symx-ff2a226efab2548b.rlib: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/debug/deps/libpokemu_symx-ff2a226efab2548b.rmeta: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/dom.rs:
+crates/symx/src/engine.rs:
+crates/symx/src/minimize.rs:
+crates/symx/src/summary.rs:
+crates/symx/src/tree.rs:

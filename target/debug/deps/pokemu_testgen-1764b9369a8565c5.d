@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pokemu_testgen-1764b9369a8565c5.d: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/debug/deps/libpokemu_testgen-1764b9369a8565c5.rlib: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/debug/deps/libpokemu_testgen-1764b9369a8565c5.rmeta: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/gadgets.rs:
+crates/testgen/src/layout.rs:
+crates/testgen/src/program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_tmp-6b6b46f8915e06be.d: crates/core/../../tests/probe_tmp.rs
+
+/root/repo/target/debug/deps/probe_tmp-6b6b46f8915e06be: crates/core/../../tests/probe_tmp.rs
+
+crates/core/../../tests/probe_tmp.rs:

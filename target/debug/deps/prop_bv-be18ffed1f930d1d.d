@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_bv-be18ffed1f930d1d.d: crates/solver/tests/prop_bv.rs
+
+/root/repo/target/debug/deps/prop_bv-be18ffed1f930d1d: crates/solver/tests/prop_bv.rs
+
+crates/solver/tests/prop_bv.rs:

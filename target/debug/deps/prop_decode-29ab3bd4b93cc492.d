@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_decode-29ab3bd4b93cc492.d: crates/isa/tests/prop_decode.rs
+
+/root/repo/target/debug/deps/prop_decode-29ab3bd4b93cc492: crates/isa/tests/prop_decode.rs
+
+crates/isa/tests/prop_decode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exploration-787d1b9a6d41afe7.d: crates/symx/tests/prop_exploration.rs
+
+/root/repo/target/debug/deps/prop_exploration-787d1b9a6d41afe7: crates/symx/tests/prop_exploration.rs
+
+crates/symx/tests/prop_exploration.rs:

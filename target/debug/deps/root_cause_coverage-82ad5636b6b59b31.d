@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/root_cause_coverage-82ad5636b6b59b31.d: crates/core/../../tests/root_cause_coverage.rs
+
+/root/repo/target/debug/deps/root_cause_coverage-82ad5636b6b59b31: crates/core/../../tests/root_cause_coverage.rs
+
+crates/core/../../tests/root_cause_coverage.rs:

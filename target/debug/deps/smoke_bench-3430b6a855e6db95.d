@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_bench-3430b6a855e6db95.d: crates/bench/src/bin/smoke-bench.rs
+
+/root/repo/target/debug/deps/smoke_bench-3430b6a855e6db95: crates/bench/src/bin/smoke-bench.rs
+
+crates/bench/src/bin/smoke-bench.rs:

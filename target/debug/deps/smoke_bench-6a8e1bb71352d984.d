@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_bench-6a8e1bb71352d984.d: crates/bench/src/bin/smoke-bench.rs
+
+/root/repo/target/debug/deps/smoke_bench-6a8e1bb71352d984: crates/bench/src/bin/smoke-bench.rs
+
+crates/bench/src/bin/smoke-bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/symbolic_state_map-a19cab596a05e279.d: crates/core/../../tests/symbolic_state_map.rs
+
+/root/repo/target/debug/deps/symbolic_state_map-a19cab596a05e279: crates/core/../../tests/symbolic_state_map.rs
+
+crates/core/../../tests/symbolic_state_map.rs:

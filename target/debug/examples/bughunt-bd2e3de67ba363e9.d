@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bughunt-bd2e3de67ba363e9.d: crates/core/../../examples/bughunt.rs
+
+/root/repo/target/debug/examples/bughunt-bd2e3de67ba363e9: crates/core/../../examples/bughunt.rs
+
+crates/core/../../examples/bughunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f8399164f0229eb.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f8399164f0229eb: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regen_experiments-daadc0c582e5ff2a.d: crates/core/../../examples/regen_experiments.rs
+
+/root/repo/target/debug/examples/regen_experiments-daadc0c582e5ff2a: crates/core/../../examples/regen_experiments.rs
+
+crates/core/../../examples/regen_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sample_testcase-3674d21f6091b6c4.d: crates/core/../../examples/sample_testcase.rs
+
+/root/repo/target/debug/examples/sample_testcase-3674d21f6091b6c4: crates/core/../../examples/sample_testcase.rs
+
+crates/core/../../examples/sample_testcase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/a1_fidelity_ablation-f694ac67194519da.d: crates/bench/benches/a1_fidelity_ablation.rs
+
+/root/repo/target/release/deps/a1_fidelity_ablation-f694ac67194519da: crates/bench/benches/a1_fidelity_ablation.rs
+
+crates/bench/benches/a1_fidelity_ablation.rs:

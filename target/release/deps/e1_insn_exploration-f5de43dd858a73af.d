@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_insn_exploration-f5de43dd858a73af.d: crates/bench/benches/e1_insn_exploration.rs
+
+/root/repo/target/release/deps/e1_insn_exploration-f5de43dd858a73af: crates/bench/benches/e1_insn_exploration.rs
+
+crates/bench/benches/e1_insn_exploration.rs:

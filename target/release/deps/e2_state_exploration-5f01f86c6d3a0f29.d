@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2_state_exploration-5f01f86c6d3a0f29.d: crates/bench/benches/e2_state_exploration.rs
+
+/root/repo/target/release/deps/e2_state_exploration-5f01f86c6d3a0f29: crates/bench/benches/e2_state_exploration.rs
+
+crates/bench/benches/e2_state_exploration.rs:

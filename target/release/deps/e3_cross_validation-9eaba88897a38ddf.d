@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_cross_validation-9eaba88897a38ddf.d: crates/bench/benches/e3_cross_validation.rs
+
+/root/repo/target/release/deps/e3_cross_validation-9eaba88897a38ddf: crates/bench/benches/e3_cross_validation.rs
+
+crates/bench/benches/e3_cross_validation.rs:

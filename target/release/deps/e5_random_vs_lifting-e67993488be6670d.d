@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_random_vs_lifting-e67993488be6670d.d: crates/bench/benches/e5_random_vs_lifting.rs
+
+/root/repo/target/release/deps/e5_random_vs_lifting-e67993488be6670d: crates/bench/benches/e5_random_vs_lifting.rs
+
+crates/bench/benches/e5_random_vs_lifting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_cost_breakdown-d96efc5bbbb78b41.d: crates/bench/benches/e6_cost_breakdown.rs
+
+/root/repo/target/release/deps/e6_cost_breakdown-d96efc5bbbb78b41: crates/bench/benches/e6_cost_breakdown.rs
+
+crates/bench/benches/e6_cost_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e7_summarization-00ddaca060a8ccea.d: crates/bench/benches/e7_summarization.rs
+
+/root/repo/target/release/deps/e7_summarization-00ddaca060a8ccea: crates/bench/benches/e7_summarization.rs
+
+crates/bench/benches/e7_summarization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_minimization-eda6cf44b35e69e0.d: crates/bench/benches/e8_minimization.rs
+
+/root/repo/target/release/deps/e8_minimization-eda6cf44b35e69e0: crates/bench/benches/e8_minimization.rs
+
+crates/bench/benches/e8_minimization.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu-e79e71d1270e7f1c.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu-e79e71d1270e7f1c.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu-e79e71d1270e7f1c.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

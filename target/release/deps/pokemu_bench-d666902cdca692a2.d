@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu_bench-d666902cdca692a2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_bench-d666902cdca692a2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_bench-d666902cdca692a2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

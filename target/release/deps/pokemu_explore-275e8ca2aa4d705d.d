@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pokemu_explore-275e8ca2aa4d705d.d: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/release/deps/libpokemu_explore-275e8ca2aa4d705d.rlib: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/release/deps/libpokemu_explore-275e8ca2aa4d705d.rmeta: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/insn_space.rs:
+crates/explore/src/state_space.rs:
+crates/explore/src/symstate.rs:

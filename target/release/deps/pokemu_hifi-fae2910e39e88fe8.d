@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu_hifi-fae2910e39e88fe8.d: crates/hifi/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hifi-fae2910e39e88fe8.rlib: crates/hifi/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hifi-fae2910e39e88fe8.rmeta: crates/hifi/src/lib.rs
+
+crates/hifi/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu_hwref-6a59184ea631e8a5.d: crates/hwref/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hwref-6a59184ea631e8a5.rlib: crates/hwref/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hwref-6a59184ea631e8a5.rmeta: crates/hwref/src/lib.rs
+
+crates/hwref/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pokemu_lofi-c66e53360d3a0bf8.d: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/release/deps/libpokemu_lofi-c66e53360d3a0bf8.rlib: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/release/deps/libpokemu_lofi-c66e53360d3a0bf8.rmeta: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+crates/lofi/src/lib.rs:
+crates/lofi/src/exec.rs:
+crates/lofi/src/mmu.rs:
+crates/lofi/src/state.rs:
+crates/lofi/src/translate.rs:
+crates/lofi/src/uop.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pokemu_solver-1a413cef0f33eecc.d: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/release/deps/libpokemu_solver-1a413cef0f33eecc.rlib: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/release/deps/libpokemu_solver-1a413cef0f33eecc.rmeta: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/blast.rs:
+crates/solver/src/sat.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:

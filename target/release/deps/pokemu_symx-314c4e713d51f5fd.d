@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pokemu_symx-314c4e713d51f5fd.d: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/release/deps/libpokemu_symx-314c4e713d51f5fd.rlib: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/release/deps/libpokemu_symx-314c4e713d51f5fd.rmeta: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/dom.rs:
+crates/symx/src/engine.rs:
+crates/symx/src/minimize.rs:
+crates/symx/src/summary.rs:
+crates/symx/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pokemu_testgen-c61669cd10554367.d: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/release/deps/libpokemu_testgen-c61669cd10554367.rlib: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/release/deps/libpokemu_testgen-c61669cd10554367.rmeta: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/gadgets.rs:
+crates/testgen/src/layout.rs:
+crates/testgen/src/program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke_bench-0aac3aa88f43c788.d: crates/bench/src/bin/smoke-bench.rs
+
+/root/repo/target/release/deps/smoke_bench-0aac3aa88f43c788: crates/bench/src/bin/smoke-bench.rs
+
+crates/bench/src/bin/smoke-bench.rs:

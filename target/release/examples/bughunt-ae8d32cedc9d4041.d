@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bughunt-ae8d32cedc9d4041.d: crates/core/../../examples/bughunt.rs
+
+/root/repo/target/release/examples/bughunt-ae8d32cedc9d4041: crates/core/../../examples/bughunt.rs
+
+crates/core/../../examples/bughunt.rs:

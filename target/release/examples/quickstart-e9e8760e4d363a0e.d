@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e9e8760e4d363a0e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e9e8760e4d363a0e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,106 @@
+//! Determinism guarantees: the pipeline and the property-test harness
+//! reproduce byte-for-byte identical results from the same seeds.
+//!
+//! Reproducibility is load-bearing for the methodology: the paper's counts
+//! (§6) are only meaningful if re-running the experiment yields the same
+//! numbers, and a reported property-test failure is only debuggable if the
+//! seed replays the exact failing input.
+
+use std::sync::Mutex;
+
+use pokemu::harness::{run_cross_validation, run_random_baseline, PipelineConfig, RandomConfig};
+use pokemu_rt::prop::{run_report, Gen, SEED_ENV, SIZE_ENV};
+
+/// Two identical pipeline runs — including one with a different worker
+/// count, so thread scheduling provably cannot leak into the results —
+/// must agree on every counter, every cluster, and every solver-query
+/// count.
+#[test]
+fn pipeline_counters_are_deterministic_across_runs_and_thread_counts() {
+    let config = |threads| PipelineConfig {
+        first_byte: Some(0x80),
+        max_paths_per_insn: 64,
+        threads,
+        ..PipelineConfig::default()
+    };
+    let a = run_cross_validation(config(2));
+    let b = run_cross_validation(config(2));
+    let c = run_cross_validation(config(4));
+    for r in [&b, &c] {
+        assert_eq!(a.candidates, r.candidates);
+        assert_eq!(a.unique_instructions, r.unique_instructions);
+        assert_eq!(a.fully_explored, r.fully_explored);
+        assert_eq!(a.total_paths, r.total_paths);
+        assert_eq!(a.lofi_differences, r.lofi_differences);
+        assert_eq!(a.hifi_differences, r.hifi_differences);
+        assert_eq!(a.lofi_filtered, r.lofi_filtered);
+        assert_eq!(a.hifi_filtered, r.hifi_filtered);
+        assert_eq!(a.lofi_clusters, r.lofi_clusters);
+        assert_eq!(a.hifi_clusters, r.hifi_clusters);
+        assert_eq!(a.stages.solver_queries, r.stages.solver_queries);
+    }
+    // The observability layer accounts for all the work: every explored
+    // instruction passed through exactly one worker.
+    let worker_items: usize = a.stages.workers.iter().map(|w| w.items).sum();
+    assert_eq!(worker_items, a.unique_instructions);
+    assert!(
+        a.stages.solver_queries > 0,
+        "state exploration must query the solver"
+    );
+}
+
+/// The random baseline is a function of its seed.
+#[test]
+fn random_baseline_is_a_function_of_its_seed() {
+    let config = RandomConfig {
+        tests: 40,
+        seed: 0x5EED5EED,
+        ..RandomConfig::default()
+    };
+    let a = run_random_baseline(config);
+    let b = run_random_baseline(config);
+    assert_eq!(a.tests, b.tests);
+    assert_eq!(a.lofi_differences, b.lofi_differences);
+    assert_eq!(a.lofi_clusters, b.lofi_clusters);
+}
+
+/// Forces an `rt::prop` failure, then replays it via `POKEMU_PROP_SEED` /
+/// `POKEMU_PROP_SIZE` and checks the generator draws byte-for-byte the same
+/// input that failed.
+#[test]
+fn prop_seed_env_replays_the_failing_case_byte_for_byte() {
+    let drawn: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+    let property = |g: &mut Gen| {
+        let v = g.bytes(0, 64);
+        *drawn.lock().unwrap() = v.clone();
+        assert!(v.len() < 5, "forced failure: {} bytes", v.len());
+    };
+
+    // First run: find and shrink a failure (no env vars involved).
+    let fail = run_report("forced_failure", 64, &property).expect_err("property must fail");
+
+    // The reported (seed, size) pair must regenerate the counterexample.
+    let mut g = Gen::new(fail.seed, fail.size);
+    let expected = g.bytes(0, 64);
+    assert!(
+        expected.len() >= 5,
+        "reported (seed, size) must generate a failing input"
+    );
+
+    // Replay through the env-var path, as a user following the panic
+    // message would.
+    std::env::set_var(SEED_ENV, format!("{:#x}", fail.seed));
+    std::env::set_var(SIZE_ENV, fail.size.to_string());
+    let replayed = run_report("forced_failure", 64, &property);
+    std::env::remove_var(SEED_ENV);
+    std::env::remove_var(SIZE_ENV);
+
+    let replay_fail = replayed.expect_err("replay must reproduce the failure");
+    assert_eq!(replay_fail.seed, fail.seed);
+    assert_eq!(replay_fail.size, fail.size);
+    assert_eq!(
+        *drawn.lock().unwrap(),
+        expected,
+        "replay must draw identical bytes"
+    );
+}

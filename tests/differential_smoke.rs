@@ -6,17 +6,16 @@
 //! configurations and checks the relationships the paper's evaluation
 //! depends on.
 
-use pokemu::harness::{compare, run_on_all_targets};
 use pokemu::harness::random::random_test;
+use pokemu::harness::{compare, run_on_all_targets};
 use pokemu::lofi::Fidelity;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pokemu_rt::Rng;
 
 const N: usize = 24;
 
 #[test]
 fn fixed_lofi_agrees_far_more_often_than_qemu_like() {
-    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut rng = Rng::seed_from_u64(0x5EED);
     let mut qemu_like_diffs = 0usize;
     let mut fixed_diffs = 0usize;
     for i in 0..N {
@@ -47,7 +46,7 @@ fn fixed_lofi_agrees_far_more_often_than_qemu_like() {
 #[test]
 fn hifi_and_hardware_differ_only_by_documented_quirks() {
     use pokemu::harness::RootCause;
-    let mut rng = StdRng::seed_from_u64(0xB0C5);
+    let mut rng = Rng::seed_from_u64(0xB0C5);
     let mut diffs = 0usize;
     for i in 0..N {
         let prog = random_test(&mut rng, i);
@@ -69,13 +68,16 @@ fn hifi_and_hardware_differ_only_by_documented_quirks() {
         }
     }
     // The vast majority of random tests agree.
-    assert!(diffs * 5 < N, "too many Hi-Fi vs hardware differences: {diffs}/{N}");
+    assert!(
+        diffs * 5 < N,
+        "too many Hi-Fi vs hardware differences: {diffs}/{N}"
+    );
 }
 
 #[test]
 fn all_targets_terminate_on_random_garbage() {
     // Robustness: no panics, and every outcome is a terminal state.
-    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    let mut rng = Rng::seed_from_u64(0xDEAD);
     for i in 0..12 {
         let prog = random_test(&mut rng, i);
         let c = run_on_all_targets(&prog, Fidelity::QEMU_LIKE);

@@ -64,7 +64,10 @@ fn finds_missing_segment_checks() {
     let fixed = run_cross_validation(PipelineConfig {
         first_byte: Some(0xa2),
         max_paths_per_insn: 96,
-        lofi_fidelity: Fidelity { enforce_segment_checks: true, ..Fidelity::QEMU_LIKE },
+        lofi_fidelity: Fidelity {
+            enforce_segment_checks: true,
+            ..Fidelity::QEMU_LIKE
+        },
         threads: 2,
         ..PipelineConfig::default()
     });
