@@ -1,0 +1,373 @@
+//! Offline report over one exported pipeline trace: reads the Chrome
+//! `trace_event` JSON and the metrics JSONL that `run_cross_validation`
+//! writes under `POKEMU_TRACE=1` and prints where the time went.
+//!
+//! ```text
+//! pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]
+//! ```
+//!
+//! Defaults to the `cross_validation` run in `target/trace/`. `--check`
+//! turns the report into a CI gate: it exits non-zero unless the trace
+//! parses, contains all five Fig. 1 stage spans, and dropped no events.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use pokemu_rt::json::{self, Value};
+use pokemu_rt::trace;
+
+/// The five pipeline stages of the paper's Fig. 1; `--check` requires a
+/// span for each.
+const STAGES: [&str; 5] = [
+    "stage.explore_insns",
+    "stage.explore_states",
+    "stage.testgen",
+    "stage.execute",
+    "stage.analyze",
+];
+
+/// One complete (`"ph":"X"`) event pulled back out of the trace file.
+struct Span {
+    name: String,
+    tid: u64,
+    dur_us: f64,
+    insn: Option<String>,
+}
+
+/// One histogram line from the metrics JSONL: (bucket lower bound, count).
+struct Hist {
+    count: u64,
+    sum: u64,
+    buckets: Vec<(u64, u64)>,
+}
+
+impl Hist {
+    /// Quantile by bucket lower bound, mirroring
+    /// `pokemu_rt::metrics::HistogramSnapshot::quantile`.
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            seen += c;
+            if seen > rank {
+                return lo;
+            }
+        }
+        self.buckets.last().map(|&(lo, _)| lo).unwrap_or(0)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+struct Report {
+    spans: Vec<Span>,
+    thread_names: BTreeMap<u64, String>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Hist>,
+}
+
+fn load(dir: &std::path::Path, run: &str) -> Result<Report, String> {
+    let trace_path = dir.join(format!("{run}.trace.json"));
+    let metrics_path = dir.join(format!("{run}.metrics.jsonl"));
+
+    let text = std::fs::read_to_string(&trace_path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run with POKEMU_TRACE=1 first)",
+            trace_path.display()
+        )
+    })?;
+    let root = json::parse(&text).map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: no traceEvents array", trace_path.display()))?;
+
+    let mut spans = Vec::new();
+    let mut thread_names = BTreeMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let tid = ev.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    if let Some(n) = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                    {
+                        thread_names.insert(tid, n.to_owned());
+                    }
+                }
+            }
+            "X" => spans.push(Span {
+                name: ev
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+                tid,
+                dur_us: ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0),
+                insn: ev
+                    .get("args")
+                    .and_then(|a| a.get("insn"))
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
+            }),
+            _ => {}
+        }
+    }
+
+    let mut counters = BTreeMap::new();
+    let mut histograms = BTreeMap::new();
+    let mtext = std::fs::read_to_string(&metrics_path)
+        .map_err(|e| format!("cannot read {}: {e}", metrics_path.display()))?;
+    for line in mtext.lines().filter(|l| !l.trim().is_empty()) {
+        let v = json::parse(line).map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        match v.get("kind").and_then(Value::as_str) {
+            Some("counter") => {
+                counters.insert(name, v.get("value").and_then(Value::as_u64).unwrap_or(0));
+            }
+            Some("histogram") => {
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .map(|bs| {
+                        bs.iter()
+                            .filter_map(|b| {
+                                let pair = b.as_array()?;
+                                Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                histograms.insert(
+                    name,
+                    Hist {
+                        count: v.get("count").and_then(Value::as_u64).unwrap_or(0),
+                        sum: v.get("sum").and_then(Value::as_u64).unwrap_or(0),
+                        buckets,
+                    },
+                );
+            }
+            _ => {} // timers are wall-clock detail; the spans cover them
+        }
+    }
+
+    Ok(Report {
+        spans,
+        thread_names,
+        counters,
+        histograms,
+    })
+}
+
+fn ms(us: f64) -> String {
+    format!("{:.3} ms", us / 1000.0)
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole <= 0.0 {
+        0.0
+    } else {
+        100.0 * part / whole
+    }
+}
+
+impl Report {
+    fn stage_total(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_us)
+            .sum()
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn print(&self, top: usize) {
+        // Stage breakdown: wall spans vs. the run span they tile.
+        let run = self.stage_total("pipeline.run");
+        println!("== stage breakdown");
+        for name in [
+            "pipeline.setup",
+            "stage.explore_insns",
+            "stage.parallel",
+            "stage.analyze",
+        ] {
+            let d = self.stage_total(name);
+            println!("  {name:<22} {:>12}  {:5.1}% of run", ms(d), pct(d, run));
+        }
+        let tiled = self.stage_total("pipeline.setup")
+            + self.stage_total("stage.explore_insns")
+            + self.stage_total("stage.parallel")
+            + self.stage_total("stage.analyze");
+        println!(
+            "  {:<22} {:>12}  (spans cover {:.1}% of pipeline.run = {})",
+            "sum",
+            ms(tiled),
+            pct(tiled, run),
+            ms(run)
+        );
+        println!("== worker time inside stage.parallel");
+        for name in ["stage.explore_states", "stage.testgen", "stage.execute"] {
+            let d = self.stage_total(name);
+            println!("  {name:<22} {:>12}", ms(d));
+        }
+
+        // Top-N slowest instructions.
+        let mut insns: Vec<&Span> = self
+            .spans
+            .iter()
+            .filter(|s| s.name == "pipeline.instruction")
+            .collect();
+        insns.sort_by(|a, b| b.dur_us.total_cmp(&a.dur_us));
+        println!(
+            "== top {} slowest instructions (of {})",
+            top.min(insns.len()),
+            insns.len()
+        );
+        for s in insns.iter().take(top) {
+            println!(
+                "  {:<20} {:>12}  on {}",
+                s.insn.as_deref().unwrap_or("?"),
+                ms(s.dur_us),
+                self.thread_names
+                    .get(&s.tid)
+                    .map(String::as_str)
+                    .unwrap_or("main"),
+            );
+        }
+
+        // Solver work split.
+        let queries = self.counter("solver.queries");
+        let sat = self.counter("solver.sat");
+        let unsat = self.counter("solver.unsat");
+        let summary_hits = self.counter("symx.summary_hits");
+        let cache_hits = self.counter("symx.pick_cache_hits");
+        println!("== solver");
+        println!(
+            "  queries {queries}  sat {sat} ({:.1}%)  unsat {unsat} ({:.1}%)",
+            pct(sat as f64, queries as f64),
+            pct(unsat as f64, queries as f64)
+        );
+        println!("  summary hits {summary_hits}  pick-cache hits {cache_hits}");
+
+        // Worker utilization: per-tid busy time inside the parallel stage.
+        let parallel = self.stage_total("stage.parallel");
+        let mut busy: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+        for s in self
+            .spans
+            .iter()
+            .filter(|s| s.name == "pipeline.instruction")
+        {
+            let e = busy.entry(s.tid).or_insert((0.0, 0));
+            e.0 += s.dur_us;
+            e.1 += 1;
+        }
+        println!("== worker utilization ({} workers)", busy.len());
+        for (tid, (us, items)) in &busy {
+            println!(
+                "  {:<12} {:>12} busy  {:5.1}%  {items} insns",
+                self.thread_names
+                    .get(tid)
+                    .map(String::as_str)
+                    .unwrap_or("main"),
+                ms(*us),
+                pct(*us, parallel),
+            );
+        }
+
+        // Histogram summaries.
+        println!("== histograms");
+        for (name, h) in &self.histograms {
+            println!(
+                "  {name:<22} n={:<7} mean={:<12.1} p50>={:<10} p95>={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95)
+            );
+        }
+        println!("== trace health");
+        println!(
+            "  trace.dropped_events {}",
+            self.counter("trace.dropped_events")
+        );
+    }
+
+    /// CI gate: all five Fig. 1 stages present, nothing dropped.
+    fn check(&self) -> Result<(), String> {
+        let mut missing: Vec<&str> = STAGES
+            .iter()
+            .filter(|&&st| !self.spans.iter().any(|s| s.name == st))
+            .copied()
+            .collect();
+        missing.sort_unstable();
+        if !missing.is_empty() {
+            return Err(format!("missing stage spans: {}", missing.join(", ")));
+        }
+        let dropped = self.counter("trace.dropped_events");
+        if dropped > 0 {
+            return Err(format!("trace.dropped_events = {dropped} (want 0)"));
+        }
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let mut run = "cross_validation".to_owned();
+    let mut dir = trace::trace_dir();
+    let mut top = 10usize;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--run" => run = args.next().unwrap_or_default(),
+            "--dir" => dir = args.next().unwrap_or_default().into(),
+            "--top" => top = args.next().and_then(|v| v.parse().ok()).unwrap_or(top),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match load(&dir, &run) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[pokemu-report] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.print(top);
+    if check {
+        if let Err(e) = report.check() {
+            eprintln!("[pokemu-report] check FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[pokemu-report] check OK: all Fig.1 stage spans present, 0 dropped events");
+    }
+    ExitCode::SUCCESS
+}

@@ -8,7 +8,9 @@ use std::time::Duration;
 use pokemu::explore::{
     explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
 };
-use pokemu::harness::{baseline_snapshot, run_on_all_targets};
+use pokemu::harness::{
+    baseline_snapshot, run_cross_validation, run_on_all_targets, PipelineConfig,
+};
 use pokemu::lofi::Fidelity;
 use pokemu_rt::bench::Bench;
 
@@ -46,6 +48,25 @@ fn main() {
         b.iter(|| run_on_all_targets(&prog, Fidelity::QEMU_LIKE))
     });
     g.finish();
+
+    // A miniature end-to-end pipeline run. Under POKEMU_TRACE=1 this also
+    // exports target/trace/cross_validation.{trace.json,metrics.jsonl},
+    // which the `trace-smoke` CI step feeds to `pokemu-report --check`.
+    let cv = run_cross_validation(PipelineConfig {
+        first_byte: Some(0x80),
+        max_instructions: 2,
+        max_paths_per_insn: 16,
+        threads: 2,
+        ..Default::default()
+    });
+    assert!(cv.total_paths > 0, "pipeline explored no paths: {cv:?}");
+    println!(
+        "[smoke-bench] pipeline: {} insns, {} paths, {} solver queries, {} workers",
+        cv.unique_instructions,
+        cv.total_paths,
+        cv.stages.solver_queries,
+        cv.stages.workers.len()
+    );
 
     let path = bench.out_path().to_path_buf();
     let text = std::fs::read_to_string(&path)

@@ -60,6 +60,7 @@ impl Default for InsnSpaceConfig {
 
 /// Explores the decoder, returning candidates and unique classes.
 pub fn explore_instruction_space(config: InsnSpaceConfig) -> InsnSpace {
+    let _span = pokemu_rt::span!("explore.insn_space");
     let mut exec = Executor::with_config(ExploreConfig {
         max_paths: config.max_paths,
         ..ExploreConfig::default()
@@ -113,6 +114,8 @@ pub fn explore_instruction_space(config: InsnSpaceConfig) -> InsnSpace {
     }
     let mut classes: Vec<ClassRep> = classes.into_values().collect();
     classes.sort_by_key(|c| c.class);
+    pokemu_rt::metrics::counter("explore.candidates").add(candidates as u64);
+    pokemu_rt::metrics::counter("explore.classes").add(classes.len() as u64);
     InsnSpace {
         candidates,
         invalid,

@@ -10,8 +10,14 @@
 use pokemu_isa::interp::{self, Quirks, StepOutcome};
 use pokemu_isa::snapshot::Snapshot;
 use pokemu_isa::translate::{descriptor_checks, DESC_SUMMARY_KEY};
+use pokemu_rt::metrics;
 use pokemu_symx::{minimize, Dom, Executor, ExploreConfig, MinimizeStats};
 use pokemu_testgen::{layout, TestProgram, TestState};
+
+/// Hex rendering of instruction bytes for span attributes and reports.
+pub(crate) fn insn_hex(insn: &[u8]) -> String {
+    insn.iter().map(|b| format!("{b:02x}")).collect()
+}
 
 use crate::symstate;
 
@@ -84,6 +90,7 @@ pub fn explore_state_space(
     baseline: &Snapshot,
     config: StateSpaceConfig,
 ) -> StateSpace {
+    let _span = pokemu_rt::span!("explore.state_space", insn = insn_hex(insn));
     let mut exec = Executor::with_config(ExploreConfig {
         max_paths: config.max_paths,
         ..ExploreConfig::default()
@@ -150,6 +157,17 @@ pub fn explore_state_space(
             pc_len: p.path_condition.len(),
             minimize: mstats,
         });
+    }
+    // Per-instruction exploration accounting (`explore.` namespace): how
+    // many instructions were explored, how many paths each one produced,
+    // and whether coverage was exhaustive (the §6.1 completeness criterion).
+    metrics::counter("explore.insns").inc();
+    metrics::counter("explore.paths").add(paths.len() as u64);
+    metrics::histogram("paths.per_insn").record(paths.len() as u64);
+    if result.complete {
+        metrics::counter("explore.complete").inc();
+    } else {
+        metrics::counter("explore.incomplete").inc();
     }
     StateSpace {
         insn: insn.to_vec(),

@@ -18,7 +18,7 @@ pub mod targets;
 pub use compare::{class_of, compare, undefined_flags_of, Clusters, Difference, RootCause};
 pub use pipeline::{
     generate_for_instruction, run_cross_validation, run_on_all_targets, CaseOutcome,
-    CrossValidation, PipelineConfig,
+    CrossValidation, PipelineConfig, StageStats,
 };
 pub use random::{run_random_baseline, RandomConfig, RandomRun};
 pub use targets::{baseline_snapshot, HardwareTarget, HiFiTarget, LofiTarget, Target};

@@ -6,12 +6,24 @@
 //! on 3×8-core EC2 instances, §6); [`run_cross_validation`] fans out over
 //! worker threads with [`pokemu_rt::for_each`] and reports a per-stage cost
 //! breakdown (the E6 experiment) in [`StageStats`].
+//!
+//! Every stage is instrumented through `pokemu_rt::trace`: the run is a
+//! `pipeline.run` span containing one span per Fig. 1 stage
+//! (`stage.explore_insns`, `stage.explore_states`, `stage.testgen`,
+//! `stage.execute`, `stage.analyze`), with one `pipeline.instruction` span
+//! per explored instruction on the worker that processed it. Stage worker
+//! time accumulates in `stage.*.ns` timer metrics, and [`StageStats`] is a
+//! view over those plus the span durations — there are no private timing
+//! counters left in the pipeline itself. Span recording is off unless
+//! [`PipelineConfig::trace`] or `POKEMU_TRACE=1` turns it on; when the
+//! environment variable is set, a finished run also exports
+//! `target/trace/cross_validation.trace.json` (Chrome `trace_event` format)
+//! and `target/trace/cross_validation.metrics.jsonl` for `pokemu-report`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use pokemu_rt::WorkerStats;
+use pokemu_rt::{metrics, trace, WorkerStats};
 
 use pokemu_explore::{
     explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
@@ -37,8 +49,13 @@ pub struct PipelineConfig {
     pub max_paths_per_insn: usize,
     /// Lo-Fi fidelity profile under test.
     pub lofi_fidelity: Fidelity,
-    /// Worker threads for generation and execution.
+    /// Worker threads for generation and execution (clamped to the number
+    /// of instructions by the pool, so no idle workers are ever reported).
     pub threads: usize,
+    /// Turn span recording on for this run (equivalent to `POKEMU_TRACE=1`,
+    /// but scoped to in-process recording: the export files are only
+    /// written under the environment variable).
+    pub trace: bool,
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +69,7 @@ impl Default for PipelineConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            trace: false,
         }
     }
 }
@@ -59,6 +77,13 @@ impl Default for PipelineConfig {
 /// Per-stage cost breakdown for one pipeline run (the E6 experiment):
 /// where the wall time went, how hard the solver worked, and what each
 /// worker thread did.
+///
+/// This is a *view* over the observability layer: wall durations come from
+/// the stage spans the pipeline opens, worker-summed durations from the
+/// `stage.*.ns` timer metrics, and `solver_queries` from per-instruction
+/// exploration results. Because the metrics registry is process-global,
+/// worker-summed stage times include any pipeline run executing
+/// concurrently in the same process (runs are normally sequential).
 #[derive(Debug, Default, Clone)]
 pub struct StageStats {
     /// Wall time of instruction-set exploration (Fig. 1 step 1).
@@ -78,7 +103,8 @@ pub struct StageStats {
     pub total_wall: Duration,
     /// Solver queries issued during state-space exploration.
     pub solver_queries: u64,
-    /// Per-worker item counts and busy time, indexed by worker id.
+    /// Per-worker item counts and busy time, indexed by worker id. Only
+    /// live workers appear: the pool clamps its size to the item count.
     pub workers: Vec<WorkerStats>,
 }
 
@@ -149,31 +175,56 @@ pub fn generate_for_instruction(
     baseline: &Snapshot,
     max_paths: usize,
 ) -> (Vec<TestProgram>, bool, u64) {
-    let space = explore_state_space(
-        insn,
-        baseline,
-        StateSpaceConfig {
-            max_paths,
-            ..StateSpaceConfig::default()
+    let (space, explore_d) = trace::timed_with(
+        "stage.explore_states",
+        || vec![("insn", name.to_owned())],
+        || {
+            explore_state_space(
+                insn,
+                baseline,
+                StateSpaceConfig {
+                    max_paths,
+                    ..StateSpaceConfig::default()
+                },
+            )
         },
     );
-    let progs = pokemu_explore::to_test_programs(&space, name);
+    metrics::timer("stage.explore_states.ns").add(explore_d);
+    let (progs, testgen_d) = trace::timed_with(
+        "stage.testgen",
+        || vec![("insn", name.to_owned())],
+        || pokemu_explore::to_test_programs(&space, name),
+    );
+    metrics::timer("stage.testgen.ns").add(testgen_d);
     (progs, space.complete, space.solver_queries)
+}
+
+/// What one worker produced for one instruction representative.
+struct ItemOutcome {
+    complete: bool,
+    n_paths: usize,
+    solver_queries: u64,
+    cases: Vec<(String, Vec<u8>, CaseOutcome)>,
 }
 
 /// Runs the complete cross-validation pipeline.
 pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
+    if config.trace {
+        trace::set_enabled(true);
+    }
     let run_start = Instant::now();
-    let baseline = baseline_snapshot();
+    let metrics_start = metrics::snapshot();
+    let run_span = pokemu_rt::span!("pipeline.run");
+    let (baseline, _) = trace::timed("pipeline.setup", baseline_snapshot);
 
     // Step 1: instruction-set exploration (Fig. 1 (1)).
-    let explore_start = Instant::now();
-    let insn_space = explore_instruction_space(InsnSpaceConfig {
-        first_byte: config.first_byte,
-        second_byte: config.second_byte,
-        ..InsnSpaceConfig::default()
+    let (insn_space, explore_insns) = trace::timed("stage.explore_insns", || {
+        explore_instruction_space(InsnSpaceConfig {
+            first_byte: config.first_byte,
+            second_byte: config.second_byte,
+            ..InsnSpaceConfig::default()
+        })
     });
-    let explore_insns = explore_start.elapsed();
     let mut reps = insn_space.classes;
     reps.truncate(config.max_instructions);
 
@@ -183,71 +234,104 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
         ..CrossValidation::default()
     };
 
-    // Steps 2-4, parallel over instructions. Workers attribute their time
-    // to the generate (state-space exploration) and execute (run on all
-    // targets) stages via shared nanosecond counters.
-    let results: Mutex<Vec<(String, bool, usize, Vec<(String, Vec<u8>, CaseOutcome)>)>> =
-        Mutex::new(Vec::new());
-    let generate_ns = AtomicU64::new(0);
-    let execute_ns = AtomicU64::new(0);
-    let solver_queries = AtomicU64::new(0);
-    let pool = pokemu_rt::for_each(config.threads, reps.len(), |i| {
-        let rep = &reps[i];
-        let name = rep.class.to_string();
-        let gen_start = Instant::now();
-        let (progs, complete, queries) =
-            generate_for_instruction(&name, &rep.bytes, &baseline, config.max_paths_per_insn);
-        generate_ns.fetch_add(gen_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        solver_queries.fetch_add(queries, Ordering::Relaxed);
-        let exec_start = Instant::now();
-        let mut cases = Vec::with_capacity(progs.len());
-        for p in &progs {
-            let case = run_on_all_targets(p, config.lofi_fidelity);
-            cases.push((p.name.clone(), p.test_insn.clone(), case));
-        }
-        execute_ns.fetch_add(exec_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        results
-            .lock()
-            .expect("no poisoning")
-            .push((name, complete, progs.len(), cases));
+    // Steps 2-4, parallel over instructions. Each worker writes its result
+    // into the slot for its item index — no result lock, no post-hoc sort:
+    // slot order *is* the deterministic analysis order. Stage timing flows
+    // through the `stage.*` spans and timer metrics recorded per item.
+    let results: Vec<OnceLock<ItemOutcome>> = (0..reps.len()).map(|_| OnceLock::new()).collect();
+    let (pool, parallel_wall) = trace::timed("stage.parallel", || {
+        pokemu_rt::for_each(config.threads, reps.len(), |i| {
+            let rep = &reps[i];
+            let name = rep.class.to_string();
+            let _insn_span = pokemu_rt::span!("pipeline.instruction", insn = name);
+            let (progs, complete, solver_queries) =
+                generate_for_instruction(&name, &rep.bytes, &baseline, config.max_paths_per_insn);
+            let (cases, execute_d) = trace::timed_with(
+                "stage.execute",
+                || vec![("insn", name.clone())],
+                || {
+                    progs
+                        .iter()
+                        .map(|p| {
+                            let case = run_on_all_targets(p, config.lofi_fidelity);
+                            (p.name.clone(), p.test_insn.clone(), case)
+                        })
+                        .collect::<Vec<_>>()
+                },
+            );
+            metrics::timer("stage.execute.ns").add(execute_d);
+            let slot_was_empty = results[i]
+                .set(ItemOutcome {
+                    complete,
+                    n_paths: progs.len(),
+                    solver_queries,
+                    cases,
+                })
+                .is_ok();
+            assert!(slot_was_empty, "pool delivered item {i} twice");
+        })
     });
 
-    // Step 5: sequential difference analysis, in name order so counters and
-    // clusters are deterministic regardless of worker scheduling.
-    let analyze_start = Instant::now();
-    let mut results = results.into_inner().expect("no poisoning");
-    results.sort_by(|a, b| a.0.cmp(&b.0));
-    for (_name, complete, n_paths, cases) in results {
-        if complete {
-            out.fully_explored += 1;
+    // Step 5: sequential difference analysis, in item order (instruction
+    // classes are sorted by exploration), so counters and clusters are
+    // deterministic regardless of worker scheduling.
+    let (solver_queries, analyze) = trace::timed("stage.analyze", || {
+        let mut solver_queries = 0u64;
+        for slot in results {
+            let item = slot.into_inner().expect("every item slot filled");
+            let ItemOutcome {
+                complete,
+                n_paths,
+                solver_queries: queries,
+                cases,
+            } = item;
+            solver_queries += queries;
+            if complete {
+                out.fully_explored += 1;
+            }
+            out.total_paths += n_paths;
+            for (case_name, insn, case) in cases {
+                if !case.hardware.same_behavior(&case.lofi) {
+                    out.lofi_differences += 1;
+                }
+                if !case.hardware.same_behavior(&case.hifi) {
+                    out.hifi_differences += 1;
+                }
+                if let Some(d) = compare(&case.hardware, &case.lofi, &insn) {
+                    out.lofi_filtered += 1;
+                    out.lofi_clusters.add(&case_name, &d);
+                }
+                if let Some(d) = compare(&case.hardware, &case.hifi, &insn) {
+                    out.hifi_filtered += 1;
+                    out.hifi_clusters.add(&case_name, &d);
+                }
+            }
         }
-        out.total_paths += n_paths;
-        for (case_name, insn, case) in cases {
-            if !case.hardware.same_behavior(&case.lofi) {
-                out.lofi_differences += 1;
-            }
-            if !case.hardware.same_behavior(&case.hifi) {
-                out.hifi_differences += 1;
-            }
-            if let Some(d) = compare(&case.hardware, &case.lofi, &insn) {
-                out.lofi_filtered += 1;
-                out.lofi_clusters.add(&case_name, &d);
-            }
-            if let Some(d) = compare(&case.hardware, &case.hifi, &insn) {
-                out.hifi_filtered += 1;
-                out.hifi_clusters.add(&case_name, &d);
-            }
-        }
-    }
+        solver_queries
+    });
+    drop(run_span);
+
+    let delta = metrics::snapshot().since(&metrics_start);
     out.stages = StageStats {
         explore_insns,
-        generate: Duration::from_nanos(generate_ns.into_inner()),
-        execute: Duration::from_nanos(execute_ns.into_inner()),
-        analyze: analyze_start.elapsed(),
-        parallel_wall: pool.wall,
+        generate: Duration::from_nanos(
+            delta.timer_ns("stage.explore_states.ns") + delta.timer_ns("stage.testgen.ns"),
+        ),
+        execute: Duration::from_nanos(delta.timer_ns("stage.execute.ns")),
+        analyze,
+        parallel_wall,
         total_wall: run_start.elapsed(),
-        solver_queries: solver_queries.into_inner(),
+        solver_queries,
         workers: pool.workers,
     };
+
+    // Under POKEMU_TRACE=1, every finished run leaves an openable trace
+    // behind (overwritten per run, like the bench JSON files).
+    if trace::env_enabled() {
+        match trace::export("cross_validation") {
+            Ok(paths) => eprintln!("[trace] exported {}", paths.trace_json.display()),
+            Err(e) => eprintln!("[trace] export failed: {e}"),
+        }
+    }
     out
 }

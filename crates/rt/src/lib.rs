@@ -9,6 +9,7 @@
 //! | `crossbeam` (scoped threads) | [`pool`]: `std::thread::scope` work queue with per-worker stats |
 //! | `proptest` | [`prop`]: the [`prop!`] macro — N cases, PRNG generators, shrink-by-halving, `POKEMU_PROP_SEED` replay |
 //! | `criterion` | [`bench`]: warm-up + K timed samples, median/p95, JSON lines in `target/bench/` |
+//! | `tracing` + `metrics` + `serde_json` | [`trace`]: structured spans with Chrome `trace_event` export; [`metrics`]: counters / timers / log-scale histograms with snapshot-diff; [`json`]: the matching zero-dep JSON reader |
 //!
 //! Determinism is the point, not just offline builds: the same seeds produce
 //! the same exploration choices, the same random-baseline tests (E5), and
@@ -18,10 +19,15 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
+pub use metrics::{Counter, Histogram, MetricsSnapshot, Timer};
 pub use pool::{for_each, PoolRun, WorkerStats};
 pub use prop::Gen;
 pub use rng::{mix64, Rng, SplitMix64};
+pub use trace::{SpanEvent, SpanGuard, TracePaths};

@@ -48,11 +48,24 @@ impl PoolRun {
 /// Items are claimed from a shared counter, so long items load-balance
 /// naturally. `f` observes items in an unspecified order; runs with the same
 /// inputs produce the same *set* of calls (callers needing deterministic
-/// output must sort afterwards, as the pipeline does).
+/// output must index results by item, as the pipeline does).
+///
+/// The pool never spawns a worker that cannot receive an item: the thread
+/// count is clamped to the item count, and zero items spawn zero workers —
+/// so [`PoolRun::workers`] reports live workers only, never idle padding.
+/// Each worker drains its trace buffer ([`crate::trace::flush_thread`]) as
+/// it exits, so spans recorded inside `f` are visible to a subsequent
+/// export without further coordination.
 pub fn for_each(threads: usize, items: usize, f: impl Fn(usize) + Sync) -> PoolRun {
-    let threads = threads.max(1).min(items.max(1));
-    let next = AtomicUsize::new(0);
     let started = Instant::now();
+    if items == 0 {
+        return PoolRun {
+            workers: Vec::new(),
+            wall: started.elapsed(),
+        };
+    }
+    let threads = threads.max(1).min(items);
+    let next = AtomicUsize::new(0);
     let mut workers = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -60,6 +73,9 @@ pub fn for_each(threads: usize, items: usize, f: impl Fn(usize) + Sync) -> PoolR
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    if crate::trace::enabled() {
+                        crate::trace::set_thread_name(format!("worker-{worker}"));
+                    }
                     let mut stats = WorkerStats {
                         worker,
                         ..WorkerStats::default()
@@ -74,6 +90,7 @@ pub fn for_each(threads: usize, items: usize, f: impl Fn(usize) + Sync) -> PoolR
                         stats.busy += t.elapsed();
                         stats.items += 1;
                     }
+                    crate::trace::flush_thread();
                     stats
                 })
             })
@@ -108,6 +125,10 @@ mod tests {
     fn zero_items_is_a_no_op() {
         let run = for_each(8, 0, |_| panic!("must not be called"));
         assert_eq!(run.items(), 0);
+        assert!(
+            run.workers.is_empty(),
+            "zero items must spawn zero workers, not report idle ones"
+        );
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! incremental because successive queries share a growing prefix.
 
 use std::collections::HashMap;
+use std::time::Instant;
+
+use pokemu_rt::metrics;
 
 use crate::blast::Blaster;
 use crate::sat::{Lit, SatResult, SatStats};
@@ -99,10 +102,43 @@ pub struct SolverStats {
 /// let vx = model.value(pool.variables_of(x)[0]).unwrap();
 /// assert!(vx < 10);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BvSolver {
     blaster: Blaster,
     stats: SolverStats,
+    metrics: SolverMetrics,
+}
+
+/// Handles into the process-wide metrics registry, resolved once per solver
+/// so the per-query cost is a relaxed atomic add (`solver.` namespace, see
+/// DESIGN.md §Observability).
+#[derive(Debug, Clone, Copy)]
+struct SolverMetrics {
+    queries: metrics::Counter,
+    sat: metrics::Counter,
+    unsat: metrics::Counter,
+    query_ns: metrics::Histogram,
+}
+
+impl SolverMetrics {
+    fn new() -> Self {
+        SolverMetrics {
+            queries: metrics::counter("solver.queries"),
+            sat: metrics::counter("solver.sat"),
+            unsat: metrics::counter("solver.unsat"),
+            query_ns: metrics::histogram("solver.query_ns"),
+        }
+    }
+}
+
+impl Default for BvSolver {
+    fn default() -> Self {
+        BvSolver {
+            blaster: Blaster::default(),
+            stats: SolverStats::default(),
+            metrics: SolverMetrics::new(),
+        }
+    }
 }
 
 impl BvSolver {
@@ -121,14 +157,27 @@ impl BvSolver {
     /// Panics if an assumption term does not have width 1.
     pub fn check(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
         self.stats.queries += 1;
+        self.metrics.queries.inc();
+        // Latency is only sampled while tracing is on: the extra clock reads
+        // are pure overhead otherwise.
+        let t = pokemu_rt::trace::enabled().then(Instant::now);
         let lits: Vec<Lit> = assumptions
             .iter()
             .map(|&t| self.blaster.blast_bool(pool, t))
             .collect();
         let r = self.blaster.sat().solve(&lits);
+        if let Some(t) = t {
+            self.metrics.query_ns.record_duration(t.elapsed());
+        }
         match r {
-            SatResult::Sat => self.stats.sat += 1,
-            SatResult::Unsat => self.stats.unsat += 1,
+            SatResult::Sat => {
+                self.stats.sat += 1;
+                self.metrics.sat.inc();
+            }
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                self.metrics.unsat.inc();
+            }
         }
         self.stats.sat_core = self.blaster.sat_ref().stats();
         r

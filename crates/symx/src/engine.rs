@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use pokemu_rt::Rng;
+use pokemu_rt::{metrics, Rng};
 use pokemu_solver::{BvSolver, Model, SatResult, TermId, TermPool, VarId, Width};
 
 use crate::dom::Dom;
@@ -129,6 +129,32 @@ pub struct Executor {
     branches_this_path: usize,
     dead: bool,
     exploring: bool,
+    metrics: EngineMetrics,
+}
+
+/// Registry handles for the engine's counters (`symx.` namespace), resolved
+/// once per engine so hot sites pay one relaxed atomic add.
+#[derive(Debug, Clone, Copy)]
+struct EngineMetrics {
+    paths: metrics::Counter,
+    dead_paths: metrics::Counter,
+    forks: metrics::Counter,
+    pruned_branches: metrics::Counter,
+    summary_hits: metrics::Counter,
+    pick_cache_hits: metrics::Counter,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        EngineMetrics {
+            paths: metrics::counter("symx.paths"),
+            dead_paths: metrics::counter("symx.dead_paths"),
+            forks: metrics::counter("symx.forks"),
+            pruned_branches: metrics::counter("symx.pruned_branches"),
+            summary_hits: metrics::counter("symx.summary_hits"),
+            pick_cache_hits: metrics::counter("symx.pick_cache_hits"),
+        }
+    }
 }
 
 impl Default for Executor {
@@ -160,6 +186,7 @@ impl Executor {
             branches_this_path: 0,
             dead: false,
             exploring: false,
+            metrics: EngineMetrics::new(),
         }
     }
 
@@ -262,9 +289,12 @@ impl Executor {
                 break;
             }
             self.begin_path();
+            let path_span = pokemu_rt::span!("symx.path", iter = iterations);
             let value = f(self);
+            drop(path_span);
             if self.dead {
                 self.stats.dead_paths += 1;
+                self.metrics.dead_paths.inc();
                 if self.branches_this_path >= self.config.max_branches_per_path {
                     self.stats.truncated_paths += 1;
                     truncated_any = true;
@@ -277,6 +307,7 @@ impl Executor {
                 .check_with_model(&self.pool, &self.path)
                 .expect("path condition invariantly satisfiable");
             self.stats.paths += 1;
+            self.metrics.paths.inc();
             paths.push(PathOutcome {
                 value,
                 path_condition: self.path.clone(),
@@ -463,6 +494,7 @@ impl Dom for Executor {
             return false;
         }
         self.stats.branches += 1;
+        self.metrics.forks.inc();
         self.branches_this_path += 1;
         let node = self.cur;
         let ncond = self.pool.not(cond);
@@ -475,6 +507,9 @@ impl Dom for Executor {
             {
                 let term = if dir { cond } else { ncond };
                 let feas = self.check_feasible(term);
+                if !feas {
+                    self.metrics.pruned_branches.inc();
+                }
                 self.tree.set_feasibility(
                     node,
                     dir,
@@ -533,6 +568,7 @@ impl Dom for Executor {
             return 0;
         }
         if let Some(&cached) = self.pick_cache.get(&(self.cur, v)) {
+            self.metrics.pick_cache_hits.inc();
             let c = self.pool.constant(self.pool.width(v), cached);
             let eq = self.pool.eq(v, c);
             self.path.push(eq);
@@ -571,6 +607,7 @@ impl Dom for Executor {
 
     fn summary_hook(&mut self, key: &'static str, args: &[TermId]) -> Option<Vec<TermId>> {
         let summary = self.summaries.get(key)?.clone();
+        self.metrics.summary_hits.inc();
         Some(summary.apply(&mut self.pool, args))
     }
 

@@ -43,6 +43,7 @@ impl TestProgram {
         let test_insn_offset = a.len() as u32;
         a.raw(test_insn);
         a.hlt();
+        pokemu_rt::metrics::counter("testgen.programs").inc();
         Ok(TestProgram {
             name,
             code: a.into_bytes(),

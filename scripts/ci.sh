@@ -16,4 +16,12 @@ cargo test --workspace --offline -q
 echo "== smoke bench (pokemu_rt::bench end to end)"
 cargo run --release --offline -p pokemu-bench --bin smoke-bench
 
+echo "== trace smoke (pokemu_rt::trace end to end)"
+# Re-run the smoke bench with tracing on: the pipeline exports a Chrome
+# trace + metrics dump, and pokemu-report --check gates on the trace
+# parsing, all five Fig.1 stage spans being present, and zero dropped
+# trace events.
+POKEMU_TRACE=1 cargo run --release --offline -p pokemu-bench --bin smoke-bench
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- --check --top 5
+
 echo "CI OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_runs-e582c447a01e09fe.d: crates/testgen/tests/baseline_runs.rs
+
+/root/repo/target/debug/deps/baseline_runs-e582c447a01e09fe: crates/testgen/tests/baseline_runs.rs
+
+crates/testgen/tests/baseline_runs.rs:

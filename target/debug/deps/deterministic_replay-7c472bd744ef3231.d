@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deterministic_replay-7c472bd744ef3231.d: crates/core/../../tests/deterministic_replay.rs
+
+/root/repo/target/debug/deps/deterministic_replay-7c472bd744ef3231: crates/core/../../tests/deterministic_replay.rs
+
+crates/core/../../tests/deterministic_replay.rs:

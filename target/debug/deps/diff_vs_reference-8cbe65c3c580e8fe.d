@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_vs_reference-8cbe65c3c580e8fe.d: crates/lofi/tests/diff_vs_reference.rs
+
+/root/repo/target/debug/deps/diff_vs_reference-8cbe65c3c580e8fe: crates/lofi/tests/diff_vs_reference.rs
+
+crates/lofi/tests/diff_vs_reference.rs:

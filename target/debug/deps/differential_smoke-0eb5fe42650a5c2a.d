@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_smoke-0eb5fe42650a5c2a.d: crates/core/../../tests/differential_smoke.rs
+
+/root/repo/target/debug/deps/differential_smoke-0eb5fe42650a5c2a: crates/core/../../tests/differential_smoke.rs
+
+crates/core/../../tests/differential_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fidelity_gaps-e8b7a3d008368126.d: crates/lofi/tests/fidelity_gaps.rs
+
+/root/repo/target/debug/deps/fidelity_gaps-e8b7a3d008368126: crates/lofi/tests/fidelity_gaps.rs
+
+crates/lofi/tests/fidelity_gaps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_exec-482ea92e22288973.d: crates/isa/tests/interp_exec.rs
+
+/root/repo/target/debug/deps/interp_exec-482ea92e22288973: crates/isa/tests/interp_exec.rs
+
+crates/isa/tests/interp_exec.rs:

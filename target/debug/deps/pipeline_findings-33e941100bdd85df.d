@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_findings-33e941100bdd85df.d: crates/core/../../tests/pipeline_findings.rs
+
+/root/repo/target/debug/deps/pipeline_findings-33e941100bdd85df: crates/core/../../tests/pipeline_findings.rs
+
+crates/core/../../tests/pipeline_findings.rs:

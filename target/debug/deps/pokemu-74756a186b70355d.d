@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu-74756a186b70355d.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu-74756a186b70355d.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu-74756a186b70355d.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu-b0d66a2fa99d5970.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu-b0d66a2fa99d5970: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

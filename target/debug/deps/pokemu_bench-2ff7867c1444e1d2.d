@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_bench-2ff7867c1444e1d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu_bench-2ff7867c1444e1d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

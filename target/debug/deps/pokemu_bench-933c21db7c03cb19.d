@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu_bench-933c21db7c03cb19.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_bench-933c21db7c03cb19.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_bench-933c21db7c03cb19.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pokemu_explore-0d6c990c2d273213.d: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/debug/deps/pokemu_explore-0d6c990c2d273213: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/insn_space.rs:
+crates/explore/src/state_space.rs:
+crates/explore/src/symstate.rs:

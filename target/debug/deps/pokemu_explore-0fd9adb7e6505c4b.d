@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pokemu_explore-0fd9adb7e6505c4b.d: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/debug/deps/libpokemu_explore-0fd9adb7e6505c4b.rlib: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/debug/deps/libpokemu_explore-0fd9adb7e6505c4b.rmeta: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/insn_space.rs:
+crates/explore/src/state_space.rs:
+crates/explore/src/symstate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pokemu_harness-b68415b9a16efa00.d: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/debug/deps/pokemu_harness-b68415b9a16efa00: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/compare.rs:
+crates/harness/src/pipeline.rs:
+crates/harness/src/random.rs:
+crates/harness/src/targets.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pokemu_harness-f3681fe1239bf7cb.d: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/debug/deps/libpokemu_harness-f3681fe1239bf7cb.rlib: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/debug/deps/libpokemu_harness-f3681fe1239bf7cb.rmeta: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/compare.rs:
+crates/harness/src/pipeline.rs:
+crates/harness/src/random.rs:
+crates/harness/src/targets.rs:

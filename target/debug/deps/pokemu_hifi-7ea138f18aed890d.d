@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu_hifi-7ea138f18aed890d.d: crates/hifi/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hifi-7ea138f18aed890d.rlib: crates/hifi/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hifi-7ea138f18aed890d.rmeta: crates/hifi/src/lib.rs
+
+crates/hifi/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_hifi-de925433354736ed.d: crates/hifi/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu_hifi-de925433354736ed: crates/hifi/src/lib.rs
+
+crates/hifi/src/lib.rs:

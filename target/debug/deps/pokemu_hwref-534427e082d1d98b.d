@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_hwref-534427e082d1d98b.d: crates/hwref/src/lib.rs
+
+/root/repo/target/debug/deps/pokemu_hwref-534427e082d1d98b: crates/hwref/src/lib.rs
+
+crates/hwref/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pokemu_hwref-64a84f1aec395c3f.d: crates/hwref/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hwref-64a84f1aec395c3f.rlib: crates/hwref/src/lib.rs
+
+/root/repo/target/debug/deps/libpokemu_hwref-64a84f1aec395c3f.rmeta: crates/hwref/src/lib.rs
+
+crates/hwref/src/lib.rs:

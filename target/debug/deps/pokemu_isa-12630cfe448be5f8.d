@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pokemu_isa-12630cfe448be5f8.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/flags.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/interp/exec_arith.rs crates/isa/src/interp/exec_control.rs crates/isa/src/interp/exec_data.rs crates/isa/src/interp/exec_system.rs crates/isa/src/mem.rs crates/isa/src/snapshot.rs crates/isa/src/state.rs crates/isa/src/translate.rs
+
+/root/repo/target/debug/deps/libpokemu_isa-12630cfe448be5f8.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/flags.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/interp/exec_arith.rs crates/isa/src/interp/exec_control.rs crates/isa/src/interp/exec_data.rs crates/isa/src/interp/exec_system.rs crates/isa/src/mem.rs crates/isa/src/snapshot.rs crates/isa/src/state.rs crates/isa/src/translate.rs
+
+/root/repo/target/debug/deps/libpokemu_isa-12630cfe448be5f8.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/flags.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/interp/exec_arith.rs crates/isa/src/interp/exec_control.rs crates/isa/src/interp/exec_data.rs crates/isa/src/interp/exec_system.rs crates/isa/src/mem.rs crates/isa/src/snapshot.rs crates/isa/src/state.rs crates/isa/src/translate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/flags.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/interp/exec_arith.rs:
+crates/isa/src/interp/exec_control.rs:
+crates/isa/src/interp/exec_data.rs:
+crates/isa/src/interp/exec_system.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/snapshot.rs:
+crates/isa/src/state.rs:
+crates/isa/src/translate.rs:

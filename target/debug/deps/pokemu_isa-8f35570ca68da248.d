@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pokemu_isa-8f35570ca68da248.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/flags.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/interp/exec_arith.rs crates/isa/src/interp/exec_control.rs crates/isa/src/interp/exec_data.rs crates/isa/src/interp/exec_system.rs crates/isa/src/mem.rs crates/isa/src/snapshot.rs crates/isa/src/state.rs crates/isa/src/translate.rs
+
+/root/repo/target/debug/deps/pokemu_isa-8f35570ca68da248: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/flags.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/interp/exec_arith.rs crates/isa/src/interp/exec_control.rs crates/isa/src/interp/exec_data.rs crates/isa/src/interp/exec_system.rs crates/isa/src/mem.rs crates/isa/src/snapshot.rs crates/isa/src/state.rs crates/isa/src/translate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/flags.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/interp/exec_arith.rs:
+crates/isa/src/interp/exec_control.rs:
+crates/isa/src/interp/exec_data.rs:
+crates/isa/src/interp/exec_system.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/snapshot.rs:
+crates/isa/src/state.rs:
+crates/isa/src/translate.rs:

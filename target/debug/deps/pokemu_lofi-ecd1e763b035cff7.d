@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pokemu_lofi-ecd1e763b035cff7.d: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/debug/deps/libpokemu_lofi-ecd1e763b035cff7.rlib: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/debug/deps/libpokemu_lofi-ecd1e763b035cff7.rmeta: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+crates/lofi/src/lib.rs:
+crates/lofi/src/exec.rs:
+crates/lofi/src/mmu.rs:
+crates/lofi/src/state.rs:
+crates/lofi/src/translate.rs:
+crates/lofi/src/uop.rs:

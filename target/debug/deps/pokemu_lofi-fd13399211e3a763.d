@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pokemu_lofi-fd13399211e3a763.d: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/debug/deps/pokemu_lofi-fd13399211e3a763: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+crates/lofi/src/lib.rs:
+crates/lofi/src/exec.rs:
+crates/lofi/src/mmu.rs:
+crates/lofi/src/state.rs:
+crates/lofi/src/translate.rs:
+crates/lofi/src/uop.rs:

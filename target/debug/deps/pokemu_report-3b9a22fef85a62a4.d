@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_report-3b9a22fef85a62a4.d: crates/bench/src/bin/pokemu-report.rs
+
+/root/repo/target/debug/deps/pokemu_report-3b9a22fef85a62a4: crates/bench/src/bin/pokemu-report.rs
+
+crates/bench/src/bin/pokemu-report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pokemu_report-49371c0a79541a7f.d: crates/bench/src/bin/pokemu-report.rs
+
+/root/repo/target/debug/deps/pokemu_report-49371c0a79541a7f: crates/bench/src/bin/pokemu-report.rs
+
+crates/bench/src/bin/pokemu-report.rs:

@@ -1,9 +1,12 @@
-/root/repo/target/debug/deps/pokemu_rt-25516e60a5b5e1b8.d: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/debug/deps/pokemu_rt-25516e60a5b5e1b8.d: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
-/root/repo/target/debug/deps/pokemu_rt-25516e60a5b5e1b8: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/debug/deps/pokemu_rt-25516e60a5b5e1b8: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
 crates/rt/src/lib.rs:
 crates/rt/src/bench.rs:
+crates/rt/src/json.rs:
+crates/rt/src/metrics.rs:
 crates/rt/src/pool.rs:
 crates/rt/src/prop.rs:
 crates/rt/src/rng.rs:
+crates/rt/src/trace.rs:

@@ -1,11 +1,14 @@
-/root/repo/target/debug/deps/pokemu_rt-b7ad77736a0459fe.d: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/debug/deps/pokemu_rt-b7ad77736a0459fe.d: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
-/root/repo/target/debug/deps/libpokemu_rt-b7ad77736a0459fe.rlib: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/debug/deps/libpokemu_rt-b7ad77736a0459fe.rlib: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
-/root/repo/target/debug/deps/libpokemu_rt-b7ad77736a0459fe.rmeta: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/debug/deps/libpokemu_rt-b7ad77736a0459fe.rmeta: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
 crates/rt/src/lib.rs:
 crates/rt/src/bench.rs:
+crates/rt/src/json.rs:
+crates/rt/src/metrics.rs:
 crates/rt/src/pool.rs:
 crates/rt/src/prop.rs:
 crates/rt/src/rng.rs:
+crates/rt/src/trace.rs:

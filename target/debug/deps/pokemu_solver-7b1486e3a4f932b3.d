@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pokemu_solver-7b1486e3a4f932b3.d: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/debug/deps/libpokemu_solver-7b1486e3a4f932b3.rlib: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/debug/deps/libpokemu_solver-7b1486e3a4f932b3.rmeta: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/blast.rs:
+crates/solver/src/sat.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:

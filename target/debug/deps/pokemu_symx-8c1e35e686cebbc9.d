@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pokemu_symx-8c1e35e686cebbc9.d: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/debug/deps/libpokemu_symx-8c1e35e686cebbc9.rlib: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/debug/deps/libpokemu_symx-8c1e35e686cebbc9.rmeta: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/dom.rs:
+crates/symx/src/engine.rs:
+crates/symx/src/minimize.rs:
+crates/symx/src/summary.rs:
+crates/symx/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pokemu_symx-c466d48a882ca4fb.d: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/debug/deps/pokemu_symx-c466d48a882ca4fb: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/dom.rs:
+crates/symx/src/engine.rs:
+crates/symx/src/minimize.rs:
+crates/symx/src/summary.rs:
+crates/symx/src/tree.rs:

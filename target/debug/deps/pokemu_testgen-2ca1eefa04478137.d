@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pokemu_testgen-2ca1eefa04478137.d: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/debug/deps/libpokemu_testgen-2ca1eefa04478137.rlib: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/debug/deps/libpokemu_testgen-2ca1eefa04478137.rmeta: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/gadgets.rs:
+crates/testgen/src/layout.rs:
+crates/testgen/src/program.rs:

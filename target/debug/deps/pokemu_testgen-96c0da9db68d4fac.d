@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pokemu_testgen-96c0da9db68d4fac.d: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/debug/deps/pokemu_testgen-96c0da9db68d4fac: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/gadgets.rs:
+crates/testgen/src/layout.rs:
+crates/testgen/src/program.rs:

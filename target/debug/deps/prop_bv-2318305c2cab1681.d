@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_bv-2318305c2cab1681.d: crates/solver/tests/prop_bv.rs
+
+/root/repo/target/debug/deps/prop_bv-2318305c2cab1681: crates/solver/tests/prop_bv.rs
+
+crates/solver/tests/prop_bv.rs:

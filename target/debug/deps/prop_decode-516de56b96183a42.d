@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_decode-516de56b96183a42.d: crates/isa/tests/prop_decode.rs
+
+/root/repo/target/debug/deps/prop_decode-516de56b96183a42: crates/isa/tests/prop_decode.rs
+
+crates/isa/tests/prop_decode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exploration-e9ba3e0db3ec08a9.d: crates/symx/tests/prop_exploration.rs
+
+/root/repo/target/debug/deps/prop_exploration-e9ba3e0db3ec08a9: crates/symx/tests/prop_exploration.rs
+
+crates/symx/tests/prop_exploration.rs:

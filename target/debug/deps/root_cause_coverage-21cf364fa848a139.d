@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/root_cause_coverage-21cf364fa848a139.d: crates/core/../../tests/root_cause_coverage.rs
+
+/root/repo/target/debug/deps/root_cause_coverage-21cf364fa848a139: crates/core/../../tests/root_cause_coverage.rs
+
+crates/core/../../tests/root_cause_coverage.rs:

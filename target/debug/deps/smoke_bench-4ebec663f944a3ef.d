@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_bench-4ebec663f944a3ef.d: crates/bench/src/bin/smoke-bench.rs
+
+/root/repo/target/debug/deps/smoke_bench-4ebec663f944a3ef: crates/bench/src/bin/smoke-bench.rs
+
+crates/bench/src/bin/smoke-bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_bench-8d25f6eb381dece7.d: crates/bench/src/bin/smoke-bench.rs
+
+/root/repo/target/debug/deps/smoke_bench-8d25f6eb381dece7: crates/bench/src/bin/smoke-bench.rs
+
+crates/bench/src/bin/smoke-bench.rs:

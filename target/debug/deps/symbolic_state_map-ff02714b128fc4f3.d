@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/symbolic_state_map-ff02714b128fc4f3.d: crates/core/../../tests/symbolic_state_map.rs
+
+/root/repo/target/debug/deps/symbolic_state_map-ff02714b128fc4f3: crates/core/../../tests/symbolic_state_map.rs
+
+crates/core/../../tests/symbolic_state_map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bughunt-4a04c6ad6f4ea4a0.d: crates/core/../../examples/bughunt.rs
+
+/root/repo/target/debug/examples/bughunt-4a04c6ad6f4ea4a0: crates/core/../../examples/bughunt.rs
+
+crates/core/../../examples/bughunt.rs:

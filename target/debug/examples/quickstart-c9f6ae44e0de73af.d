@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c9f6ae44e0de73af.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c9f6ae44e0de73af: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regen_experiments-c447bfdeffdd9043.d: crates/core/../../examples/regen_experiments.rs
+
+/root/repo/target/debug/examples/regen_experiments-c447bfdeffdd9043: crates/core/../../examples/regen_experiments.rs
+
+crates/core/../../examples/regen_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sample_testcase-09f6b9d4da98adbb.d: crates/core/../../examples/sample_testcase.rs
+
+/root/repo/target/debug/examples/sample_testcase-09f6b9d4da98adbb: crates/core/../../examples/sample_testcase.rs
+
+crates/core/../../examples/sample_testcase.rs:

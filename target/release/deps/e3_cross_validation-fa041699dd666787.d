@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_cross_validation-fa041699dd666787.d: crates/bench/benches/e3_cross_validation.rs
+
+/root/repo/target/release/deps/e3_cross_validation-fa041699dd666787: crates/bench/benches/e3_cross_validation.rs
+
+crates/bench/benches/e3_cross_validation.rs:

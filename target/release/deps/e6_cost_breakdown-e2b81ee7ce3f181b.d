@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_cost_breakdown-e2b81ee7ce3f181b.d: crates/bench/benches/e6_cost_breakdown.rs
+
+/root/repo/target/release/deps/e6_cost_breakdown-e2b81ee7ce3f181b: crates/bench/benches/e6_cost_breakdown.rs
+
+crates/bench/benches/e6_cost_breakdown.rs:

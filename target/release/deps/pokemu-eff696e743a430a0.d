@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu-eff696e743a430a0.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu-eff696e743a430a0.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu-eff696e743a430a0.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu_bench-e901f5d25ef45851.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_bench-e901f5d25ef45851.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_bench-e901f5d25ef45851.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

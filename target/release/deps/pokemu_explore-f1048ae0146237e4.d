@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pokemu_explore-f1048ae0146237e4.d: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/release/deps/libpokemu_explore-f1048ae0146237e4.rlib: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+/root/repo/target/release/deps/libpokemu_explore-f1048ae0146237e4.rmeta: crates/explore/src/lib.rs crates/explore/src/insn_space.rs crates/explore/src/state_space.rs crates/explore/src/symstate.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/insn_space.rs:
+crates/explore/src/state_space.rs:
+crates/explore/src/symstate.rs:

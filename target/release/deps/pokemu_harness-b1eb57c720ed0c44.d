@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pokemu_harness-b1eb57c720ed0c44.d: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/release/deps/libpokemu_harness-b1eb57c720ed0c44.rlib: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+/root/repo/target/release/deps/libpokemu_harness-b1eb57c720ed0c44.rmeta: crates/harness/src/lib.rs crates/harness/src/compare.rs crates/harness/src/pipeline.rs crates/harness/src/random.rs crates/harness/src/targets.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/compare.rs:
+crates/harness/src/pipeline.rs:
+crates/harness/src/random.rs:
+crates/harness/src/targets.rs:

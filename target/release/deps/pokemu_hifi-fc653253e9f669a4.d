@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu_hifi-fc653253e9f669a4.d: crates/hifi/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hifi-fc653253e9f669a4.rlib: crates/hifi/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hifi-fc653253e9f669a4.rmeta: crates/hifi/src/lib.rs
+
+crates/hifi/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pokemu_hwref-fda891b51c5057b3.d: crates/hwref/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hwref-fda891b51c5057b3.rlib: crates/hwref/src/lib.rs
+
+/root/repo/target/release/deps/libpokemu_hwref-fda891b51c5057b3.rmeta: crates/hwref/src/lib.rs
+
+crates/hwref/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pokemu_lofi-1a3fdc1fd10a30f9.d: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/release/deps/libpokemu_lofi-1a3fdc1fd10a30f9.rlib: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+/root/repo/target/release/deps/libpokemu_lofi-1a3fdc1fd10a30f9.rmeta: crates/lofi/src/lib.rs crates/lofi/src/exec.rs crates/lofi/src/mmu.rs crates/lofi/src/state.rs crates/lofi/src/translate.rs crates/lofi/src/uop.rs
+
+crates/lofi/src/lib.rs:
+crates/lofi/src/exec.rs:
+crates/lofi/src/mmu.rs:
+crates/lofi/src/state.rs:
+crates/lofi/src/translate.rs:
+crates/lofi/src/uop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pokemu_report-f1cb75adee396b46.d: crates/bench/src/bin/pokemu-report.rs
+
+/root/repo/target/release/deps/pokemu_report-f1cb75adee396b46: crates/bench/src/bin/pokemu-report.rs
+
+crates/bench/src/bin/pokemu-report.rs:

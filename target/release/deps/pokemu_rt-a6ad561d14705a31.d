@@ -1,11 +1,14 @@
-/root/repo/target/release/deps/pokemu_rt-a6ad561d14705a31.d: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/release/deps/pokemu_rt-a6ad561d14705a31.d: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
-/root/repo/target/release/deps/libpokemu_rt-a6ad561d14705a31.rlib: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/release/deps/libpokemu_rt-a6ad561d14705a31.rlib: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
-/root/repo/target/release/deps/libpokemu_rt-a6ad561d14705a31.rmeta: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs
+/root/repo/target/release/deps/libpokemu_rt-a6ad561d14705a31.rmeta: crates/rt/src/lib.rs crates/rt/src/bench.rs crates/rt/src/json.rs crates/rt/src/metrics.rs crates/rt/src/pool.rs crates/rt/src/prop.rs crates/rt/src/rng.rs crates/rt/src/trace.rs
 
 crates/rt/src/lib.rs:
 crates/rt/src/bench.rs:
+crates/rt/src/json.rs:
+crates/rt/src/metrics.rs:
 crates/rt/src/pool.rs:
 crates/rt/src/prop.rs:
 crates/rt/src/rng.rs:
+crates/rt/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pokemu_solver-8a0944bb6825b1a3.d: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/release/deps/libpokemu_solver-8a0944bb6825b1a3.rlib: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+/root/repo/target/release/deps/libpokemu_solver-8a0944bb6825b1a3.rmeta: crates/solver/src/lib.rs crates/solver/src/blast.rs crates/solver/src/sat.rs crates/solver/src/solver.rs crates/solver/src/term.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/blast.rs:
+crates/solver/src/sat.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pokemu_symx-591bee581f66bbde.d: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/release/deps/libpokemu_symx-591bee581f66bbde.rlib: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+/root/repo/target/release/deps/libpokemu_symx-591bee581f66bbde.rmeta: crates/symx/src/lib.rs crates/symx/src/dom.rs crates/symx/src/engine.rs crates/symx/src/minimize.rs crates/symx/src/summary.rs crates/symx/src/tree.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/dom.rs:
+crates/symx/src/engine.rs:
+crates/symx/src/minimize.rs:
+crates/symx/src/summary.rs:
+crates/symx/src/tree.rs:

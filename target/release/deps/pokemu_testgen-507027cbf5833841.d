@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pokemu_testgen-507027cbf5833841.d: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/release/deps/libpokemu_testgen-507027cbf5833841.rlib: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+/root/repo/target/release/deps/libpokemu_testgen-507027cbf5833841.rmeta: crates/testgen/src/lib.rs crates/testgen/src/gadgets.rs crates/testgen/src/layout.rs crates/testgen/src/program.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/gadgets.rs:
+crates/testgen/src/layout.rs:
+crates/testgen/src/program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke_bench-25099328a9ac77c5.d: crates/bench/src/bin/smoke-bench.rs
+
+/root/repo/target/release/deps/smoke_bench-25099328a9ac77c5: crates/bench/src/bin/smoke-bench.rs
+
+crates/bench/src/bin/smoke-bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2e60730d18293e19.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2e60730d18293e19: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

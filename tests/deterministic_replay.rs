@@ -6,10 +6,22 @@
 //! numbers, and a reported property-test failure is only debuggable if the
 //! seed replays the exact failing input.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use pokemu::harness::{run_cross_validation, run_random_baseline, PipelineConfig, RandomConfig};
 use pokemu_rt::prop::{run_report, Gen, SEED_ENV, SIZE_ENV};
+
+/// The metrics registry is process-global, so tests that run the pipeline
+/// (and therefore bump `explore.*` / `solver.*` / `testgen.*` counters)
+/// serialize on this lock; otherwise a concurrent test's counts would leak
+/// into [`metrics_counters_are_byte_identical_across_thread_counts`]'s
+/// snapshot windows.
+fn metrics_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
 
 /// Two identical pipeline runs — including one with a different worker
 /// count, so thread scheduling provably cannot leak into the results —
@@ -17,6 +29,7 @@ use pokemu_rt::prop::{run_report, Gen, SEED_ENV, SIZE_ENV};
 /// count.
 #[test]
 fn pipeline_counters_are_deterministic_across_runs_and_thread_counts() {
+    let _metrics = metrics_lock();
     let config = |threads| PipelineConfig {
         first_byte: Some(0x80),
         max_paths_per_insn: 64,
@@ -49,9 +62,61 @@ fn pipeline_counters_are_deterministic_across_runs_and_thread_counts() {
     );
 }
 
+/// The observability layer obeys the same determinism contract as the
+/// pipeline results: every *counter* metric the run emits — path counts,
+/// solver verdicts, fork/prune decisions, generated programs — must be
+/// byte-for-byte identical whether the run used 1, 2, or 8 worker threads,
+/// and whether span recording was on. Timers and latency histograms measure
+/// wall time and are excluded; that split is exactly why the registry keeps
+/// them in separate namespaces.
+#[test]
+fn metrics_counters_are_byte_identical_across_thread_counts() {
+    let _metrics = metrics_lock();
+    let run = |threads| {
+        let before = pokemu_rt::metrics::snapshot();
+        let cv = run_cross_validation(PipelineConfig {
+            first_byte: Some(0x80),
+            max_paths_per_insn: 64,
+            threads,
+            trace: true, // span recording must not perturb the counts
+            ..PipelineConfig::default()
+        });
+        assert!(cv.total_paths > 0);
+        let delta = pokemu_rt::metrics::snapshot().since(&before);
+        delta
+            .to_jsonl()
+            .lines()
+            .filter(|l| l.starts_with("{\"kind\":\"counter\""))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            })
+    };
+    let one = run(1);
+    let two = run(2);
+    let eight = run(8);
+    pokemu_rt::trace::set_enabled(false);
+    for name in [
+        "explore.insns",
+        "explore.paths",
+        "solver.queries",
+        "symx.paths",
+        "testgen.programs",
+    ] {
+        assert!(
+            one.contains(&format!("\"name\":\"{name}\"")),
+            "{name} missing from counter dump:\n{one}"
+        );
+    }
+    assert_eq!(one, two, "1-thread vs 2-thread counter dumps differ");
+    assert_eq!(one, eight, "1-thread vs 8-thread counter dumps differ");
+}
+
 /// The random baseline is a function of its seed.
 #[test]
 fn random_baseline_is_a_function_of_its_seed() {
+    let _metrics = metrics_lock();
     let config = RandomConfig {
         tests: 40,
         seed: 0x5EED5EED,
