@@ -1,20 +1,38 @@
-//! Offline report over one exported pipeline trace: reads the Chrome
-//! `trace_event` JSON and the metrics JSONL that `run_cross_validation`
-//! writes under `POKEMU_TRACE=1` and prints where the time went.
+//! Offline reporting over the pipeline's run artifacts.
 //!
 //! ```text
 //! pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]
+//! pokemu-report coverage [--manifest PATH]
+//! pokemu-report diff --baseline PATH [--manifest PATH] [--check]
 //! ```
 //!
-//! Defaults to the `cross_validation` run in `target/trace/`. `--check`
-//! turns the report into a CI gate: it exits non-zero unless the trace
-//! parses, contains all five Fig. 1 stage spans, and dropped no events.
+//! The default (no subcommand) mode reads the Chrome `trace_event` JSON and
+//! metrics JSONL that `run_cross_validation` writes under `POKEMU_TRACE=1`
+//! and prints where the time went; `--check` gates on the trace parsing,
+//! all five Fig. 1 stage spans being present, and zero dropped events.
+//!
+//! `coverage` prints the coverage section of a run manifest (written under
+//! `POKEMU_RUN_MANIFEST=1`). `diff` compares a run manifest against a
+//! committed baseline manifest and, with `--check`, fails when coverage
+//! bits present in the baseline are missing from the run or the root-cause
+//! cluster set changed — the CI regression gate.
+//!
+//! Exit codes (all modes): 0 OK, 1 gate violation (the violating metric /
+//! map / cluster names are printed), 2 missing or unreadable input.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use pokemu::harness::manifest as run_manifest;
+use pokemu_rt::coverage::MapSnapshot;
 use pokemu_rt::json::{self, Value};
 use pokemu_rt::trace;
+
+/// Exit code for a failed `--check` gate.
+const EXIT_VIOLATION: u8 = 1;
+/// Exit code for missing or unparseable input files.
+const EXIT_MISSING_INPUT: u8 = 2;
 
 /// The five pipeline stages of the paper's Fig. 1; `--check` requires a
 /// span for each.
@@ -330,26 +348,265 @@ impl Report {
     }
 }
 
+/// The decoded pieces of one `manifest.json` the diff gate compares.
+struct ManifestData {
+    run_id: String,
+    /// map name -> bitmap.
+    coverage: BTreeMap<String, MapSnapshot>,
+    /// target (`lofi`/`hifi`) -> sorted root-cause names.
+    clusters: BTreeMap<String, Vec<String>>,
+    deviations: usize,
+}
+
+fn load_manifest(path: &Path) -> Result<ManifestData, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run with POKEMU_RUN_MANIFEST=1 first)",
+            path.display()
+        )
+    })?;
+    let root = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let run_id = root
+        .get("run_id")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    let mut coverage = BTreeMap::new();
+    if let Some(Value::Obj(maps)) = root.get("coverage") {
+        for (name, v) in maps {
+            let m = MapSnapshot::from_value(v)
+                .ok_or_else(|| format!("{}: bad coverage map {name}", path.display()))?;
+            coverage.insert(name.clone(), m);
+        }
+    }
+    let mut clusters = BTreeMap::new();
+    if let Some(Value::Obj(targets)) = root.get("clusters") {
+        for (target, list) in targets {
+            let mut causes: Vec<String> = list
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|c| c.get("cause")?.as_str().map(str::to_owned))
+                .collect();
+            causes.sort();
+            clusters.insert(target.clone(), causes);
+        }
+    }
+    let deviations = root
+        .get("deviations")
+        .and_then(Value::as_array)
+        .map(<[Value]>::len)
+        .unwrap_or(0);
+    Ok(ManifestData {
+        run_id,
+        coverage,
+        clusters,
+        deviations,
+    })
+}
+
+/// The default manifest to inspect: `target/run/<id>/manifest.json`, with
+/// the id from `POKEMU_RUN_ID` (falling back to the CI run id, `smoke`).
+fn default_manifest_path() -> PathBuf {
+    let id = std::env::var(run_manifest::RUN_ID_ENV).unwrap_or_default();
+    let id = if id.is_empty() {
+        "smoke".to_owned()
+    } else {
+        id
+    };
+    run_manifest::run_dir(&id).join("manifest.json")
+}
+
+/// `pokemu-report coverage`: print the coverage ledger of one manifest.
+fn cmd_coverage(args: &mut std::env::Args) -> ExitCode {
+    let mut path = default_manifest_path();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--manifest" => path = args.next().unwrap_or_default().into(),
+            "--help" | "-h" => {
+                println!("usage: pokemu-report coverage [--manifest PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        }
+    }
+    let m = match load_manifest(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("[pokemu-report] {e}");
+            return ExitCode::from(EXIT_MISSING_INPUT);
+        }
+    };
+    println!("== coverage ({} / run {})", path.display(), m.run_id);
+    for (name, map) in &m.coverage {
+        println!(
+            "  {name:<22} {:>6} / {:<6} bits  ({:.2}%)",
+            map.set_count(),
+            map.bits,
+            100.0 * map.fraction()
+        );
+    }
+    for (target, causes) in &m.clusters {
+        println!(
+            "  clusters.{target:<14} {:>6} root cause(s){}",
+            causes.len(),
+            if causes.is_empty() {
+                String::new()
+            } else {
+                format!(": {}", causes.join("; "))
+            }
+        );
+    }
+    println!("  deviations            {:>6}", m.deviations);
+    ExitCode::SUCCESS
+}
+
+/// `pokemu-report diff`: baseline-vs-run regression report. Violations are
+/// coverage bits present in the baseline but missing from the run, and any
+/// change to a target's root-cause cluster set.
+fn diff_violations(base: &ManifestData, cur: &ManifestData) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, bmap) in &base.coverage {
+        match cur.coverage.get(name) {
+            None => violations.push(format!("{name}: map missing from run manifest")),
+            Some(cmap) => {
+                let lost = bmap.missing_from(cmap);
+                if !lost.is_empty() {
+                    violations.push(format!(
+                        "{name}: coverage dropped {} bit(s) vs baseline (e.g. index {})",
+                        lost.len(),
+                        lost[0]
+                    ));
+                }
+            }
+        }
+    }
+    for (target, bcauses) in &base.clusters {
+        let ccauses = cur.clusters.get(target).cloned().unwrap_or_default();
+        if &ccauses != bcauses {
+            let gone: Vec<&str> = bcauses
+                .iter()
+                .filter(|c| !ccauses.contains(c))
+                .map(String::as_str)
+                .collect();
+            let new: Vec<&str> = ccauses
+                .iter()
+                .filter(|c| !bcauses.contains(c))
+                .map(String::as_str)
+                .collect();
+            violations.push(format!(
+                "clusters.{target}: root-cause set changed (lost: [{}]; new: [{}])",
+                gone.join("; "),
+                new.join("; ")
+            ));
+        }
+    }
+    violations
+}
+
+fn cmd_diff(args: &mut std::env::Args) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut manifest = default_manifest_path();
+    let mut check = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--manifest" => manifest = args.next().unwrap_or_default().into(),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: pokemu-report diff --baseline PATH [--manifest PATH] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        }
+    }
+    let Some(baseline) = baseline else {
+        eprintln!("[pokemu-report] diff requires --baseline PATH");
+        return ExitCode::from(EXIT_MISSING_INPUT);
+    };
+    let (base, cur) = match (load_manifest(&baseline), load_manifest(&manifest)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("[pokemu-report] {e}");
+            return ExitCode::from(EXIT_MISSING_INPUT);
+        }
+    };
+    println!(
+        "== diff baseline {} (run {}) vs {} (run {})",
+        baseline.display(),
+        base.run_id,
+        manifest.display(),
+        cur.run_id
+    );
+    for (name, bmap) in &base.coverage {
+        let cur_set = cur.coverage.get(name).map(MapSnapshot::set_count);
+        println!(
+            "  {name:<22} baseline {:>5} bits, run {}",
+            bmap.set_count(),
+            cur_set.map_or("<missing>".to_owned(), |n| format!("{n:>5} bits")),
+        );
+    }
+    let violations = diff_violations(&base, &cur);
+    if violations.is_empty() {
+        println!("[pokemu-report] diff OK: no coverage regressions, cluster sets unchanged");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("[pokemu-report] diff violation: {v}");
+    }
+    if check {
+        eprintln!(
+            "[pokemu-report] diff FAILED: {} violation(s) vs baseline",
+            violations.len()
+        );
+        return ExitCode::from(EXIT_VIOLATION);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let first = args.next();
+    match first.as_deref() {
+        Some("coverage") => return cmd_coverage(&mut args),
+        Some("diff") => return cmd_diff(&mut args),
+        _ => {}
+    }
+
     let mut run = "cross_validation".to_owned();
     let mut dir = trace::trace_dir();
     let mut top = 10usize;
     let mut check = false;
 
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    // Legacy trace-report mode: `first` (if any) is an ordinary flag.
+    let mut pending = first;
+    loop {
+        let Some(a) = pending.take().or_else(|| args.next()) else {
+            break;
+        };
         match a.as_str() {
             "--run" => run = args.next().unwrap_or_default(),
             "--dir" => dir = args.next().unwrap_or_default().into(),
             "--top" => top = args.next().and_then(|v| v.parse().ok()).unwrap_or(top),
             "--check" => check = true,
             "--help" | "-h" => {
-                println!("usage: pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]");
+                println!(
+                    "usage: pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]\n\
+                     \x20      pokemu-report coverage [--manifest PATH]\n\
+                     \x20      pokemu-report diff --baseline PATH [--manifest PATH] [--check]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_MISSING_INPUT);
             }
         }
     }
@@ -358,14 +615,14 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("[pokemu-report] {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_MISSING_INPUT);
         }
     };
     report.print(top);
     if check {
         if let Err(e) = report.check() {
             eprintln!("[pokemu-report] check FAILED: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_VIOLATION);
         }
         println!("[pokemu-report] check OK: all Fig.1 stage spans present, 0 dropped events");
     }

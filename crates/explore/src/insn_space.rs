@@ -58,6 +58,20 @@ impl Default for InsnSpaceConfig {
     }
 }
 
+/// Size of the `coverage.opcode` bitmap: 256 one-byte opcodes plus 256
+/// two-byte (`0F xx`) opcodes.
+pub const OPCODE_COVERAGE_BITS: usize = 512;
+
+/// Bit index of an [`InstClass`] opcode in the `coverage.opcode` map:
+/// one-byte opcodes map to `0..256`, two-byte (`0x0F00 | b`) to `256..512`.
+pub fn opcode_coverage_index(opcode: u16) -> usize {
+    if opcode < 0x100 {
+        opcode as usize
+    } else {
+        0x100 | (opcode & 0xff) as usize
+    }
+}
+
 /// Explores the decoder, returning candidates and unique classes.
 pub fn explore_instruction_space(config: InsnSpaceConfig) -> InsnSpace {
     let _span = pokemu_rt::span!("explore.insn_space");
@@ -116,6 +130,12 @@ pub fn explore_instruction_space(config: InsnSpaceConfig) -> InsnSpace {
     classes.sort_by_key(|c| c.class);
     pokemu_rt::metrics::counter("explore.candidates").add(candidates as u64);
     pokemu_rt::metrics::counter("explore.classes").add(classes.len() as u64);
+    // Opcode-space coverage: which of the 512 one-/two-byte opcodes this
+    // exploration discovered at least one valid encoding for.
+    let opcode_cov = pokemu_rt::coverage::map("coverage.opcode", OPCODE_COVERAGE_BITS);
+    for c in &classes {
+        opcode_cov.set(opcode_coverage_index(c.class.opcode));
+    }
     InsnSpace {
         candidates,
         invalid,

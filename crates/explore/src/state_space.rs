@@ -44,6 +44,10 @@ pub struct PathTest {
     pub state: TestState,
     /// Number of branch conditions on the path.
     pub pc_len: usize,
+    /// The engine's deterministic path-decision hash (see
+    /// [`pokemu_symx::PathOutcome::path_id`]); carried through to test
+    /// programs so deviations can name the exact explored path.
+    pub path_id: u64,
     /// Minimization statistics (E8).
     pub minimize: MinimizeStats,
 }
@@ -155,6 +159,7 @@ pub fn explore_state_space(
             end: p.value,
             state: TestState { items },
             pc_len: p.path_condition.len(),
+            path_id: p.path_id,
             minimize: mstats,
         });
     }
@@ -191,6 +196,10 @@ pub fn to_test_programs(space: &StateSpace, name_prefix: &str) -> Vec<TestProgra
                 &space.insn,
             )
             .ok()
+            .map(|mut prog| {
+                prog.path_id = p.path_id;
+                prog
+            })
         })
         .collect()
 }

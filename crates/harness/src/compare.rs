@@ -69,6 +69,15 @@ pub struct Difference {
     pub components: Vec<String>,
     /// The inferred root cause.
     pub cause: RootCause,
+    /// The test-instruction bytes that exposed the difference (provenance
+    /// for the run manifest and flight recorder).
+    pub insn: Vec<u8>,
+    /// The symbolic-exploration path the test exercises; 0 until the
+    /// caller attaches the originating [`TestProgram`]'s path-id (random
+    /// baseline tests have no explored path).
+    ///
+    /// [`TestProgram`]: pokemu_testgen::TestProgram
+    pub path_id: u64,
 }
 
 /// The undefined-flag mask for one instruction class: bits of EFLAGS whose
@@ -160,7 +169,12 @@ pub fn compare(reference: &Snapshot, target: &Snapshot, test_insn: &[u8]) -> Opt
         return None;
     }
     let cause = classify(&a, &b, &components, class.as_ref());
-    Some(Difference { components, cause })
+    Some(Difference {
+        components,
+        cause,
+        insn: test_insn.to_vec(),
+        path_id: 0,
+    })
 }
 
 fn classify(

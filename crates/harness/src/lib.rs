@@ -11,14 +11,16 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod manifest;
 pub mod pipeline;
 pub mod random;
 pub mod targets;
 
 pub use compare::{class_of, compare, undefined_flags_of, Clusters, Difference, RootCause};
+pub use manifest::RunManifest;
 pub use pipeline::{
     generate_for_instruction, run_cross_validation, run_on_all_targets, CaseOutcome,
-    CrossValidation, PipelineConfig, StageStats,
+    CrossValidation, DeviationRecord, PipelineConfig, StageStats,
 };
 pub use random::{run_random_baseline, RandomConfig, RandomRun};
 pub use targets::{baseline_snapshot, HardwareTarget, HiFiTarget, LofiTarget, Target};

@@ -23,7 +23,7 @@
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use pokemu_rt::{metrics, trace, WorkerStats};
+use pokemu_rt::{coverage, flight, metrics, trace, WorkerStats};
 
 use pokemu_explore::{
     explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
@@ -56,6 +56,10 @@ pub struct PipelineConfig {
     /// but scoped to in-process recording: the export files are only
     /// written under the environment variable).
     pub trace: bool,
+    /// Write a run manifest to `target/run/<run-id>/manifest.json` when the
+    /// run finishes (equivalent to `POKEMU_RUN_MANIFEST=1`; the run id
+    /// comes from `POKEMU_RUN_ID`, see [`crate::manifest`]).
+    pub manifest: bool,
 }
 
 impl Default for PipelineConfig {
@@ -70,8 +74,29 @@ impl Default for PipelineConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             trace: false,
+            manifest: false,
         }
     }
+}
+
+/// One cross-validation deviation with full provenance: which target
+/// diverged, on which test, the instruction bytes, the explored path, and
+/// the root-cause cluster it landed in. The manifest's `deviations` array
+/// is exactly this list; it is deterministic for a fixed config and seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviationRecord {
+    /// Which emulator diverged from the hardware oracle: `"lofi"`/`"hifi"`.
+    pub target: String,
+    /// The test program's name.
+    pub test: String,
+    /// Hex of the test-instruction bytes.
+    pub insn_hex: String,
+    /// The symbolic-exploration path the test exercises.
+    pub path_id: u64,
+    /// Root cause (the [`crate::compare::RootCause`] display form).
+    pub cause: String,
+    /// The differing snapshot components.
+    pub components: Vec<String>,
 }
 
 /// Per-stage cost breakdown for one pipeline run (the E6 experiment):
@@ -133,6 +158,8 @@ pub struct CrossValidation {
     pub lofi_clusters: Clusters,
     /// Root-cause clusters for Hi-Fi differences.
     pub hifi_clusters: Clusters,
+    /// Every filtered deviation with provenance, in analysis order.
+    pub deviations: Vec<DeviationRecord>,
     /// Per-stage cost breakdown (E6).
     pub stages: StageStats,
 }
@@ -204,7 +231,12 @@ struct ItemOutcome {
     complete: bool,
     n_paths: usize,
     solver_queries: u64,
-    cases: Vec<(String, Vec<u8>, CaseOutcome)>,
+    /// `(test name, instruction bytes, path id, outcome)` per test program.
+    cases: Vec<(String, Vec<u8>, u64, CaseOutcome)>,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
 /// Runs the complete cross-validation pipeline.
@@ -212,6 +244,15 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     if config.trace {
         trace::set_enabled(true);
     }
+    // Arm the run-artifact layer: a manifest directory to aggregate into,
+    // and the flight recorder's panic hook pointed at it, so a crash
+    // anywhere below leaves `flightrec-panic.jsonl` next to the manifest.
+    let manifest_armed = config.manifest || crate::manifest::env_enabled();
+    let run_id = crate::manifest::resolve_run_id();
+    if manifest_armed {
+        flight::set_dump_dir(crate::manifest::run_dir(&run_id));
+    }
+    flight::install_panic_hook();
     let run_start = Instant::now();
     let metrics_start = metrics::snapshot();
     let run_span = pokemu_rt::span!("pipeline.run");
@@ -244,6 +285,9 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             let rep = &reps[i];
             let name = rep.class.to_string();
             let _insn_span = pokemu_rt::span!("pipeline.instruction", insn = name);
+            flight::note("pipeline.instruction", || {
+                format!("{name} ({})", hex(&rep.bytes))
+            });
             let (progs, complete, solver_queries) =
                 generate_for_instruction(&name, &rep.bytes, &baseline, config.max_paths_per_insn);
             let (cases, execute_d) = trace::timed_with(
@@ -254,7 +298,7 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
                         .iter()
                         .map(|p| {
                             let case = run_on_all_targets(p, config.lofi_fidelity);
-                            (p.name.clone(), p.test_insn.clone(), case)
+                            (p.name.clone(), p.test_insn.clone(), p.path_id, case)
                         })
                         .collect::<Vec<_>>()
                 },
@@ -290,20 +334,24 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
                 out.fully_explored += 1;
             }
             out.total_paths += n_paths;
-            for (case_name, insn, case) in cases {
+            for (case_name, insn, path_id, case) in cases {
                 if !case.hardware.same_behavior(&case.lofi) {
                     out.lofi_differences += 1;
                 }
                 if !case.hardware.same_behavior(&case.hifi) {
                     out.hifi_differences += 1;
                 }
-                if let Some(d) = compare(&case.hardware, &case.lofi, &insn) {
+                if let Some(mut d) = compare(&case.hardware, &case.lofi, &insn) {
+                    d.path_id = path_id;
                     out.lofi_filtered += 1;
                     out.lofi_clusters.add(&case_name, &d);
+                    record_deviation(&mut out.deviations, "lofi", &case_name, &d);
                 }
-                if let Some(d) = compare(&case.hardware, &case.hifi, &insn) {
+                if let Some(mut d) = compare(&case.hardware, &case.hifi, &insn) {
+                    d.path_id = path_id;
                     out.hifi_filtered += 1;
                     out.hifi_clusters.add(&case_name, &d);
+                    record_deviation(&mut out.deviations, "hifi", &case_name, &d);
                 }
             }
         }
@@ -333,5 +381,55 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             Err(e) => eprintln!("[trace] export failed: {e}"),
         }
     }
+
+    // Run artifacts: the manifest aggregates the whole run, and any
+    // comparison deviation also dumps the flight recorder next to it so
+    // the last events before each divergence are inspectable post-hoc.
+    if manifest_armed {
+        // Coverage is reported *cumulatively* (all bits the process has set),
+        // not as a since-run-start delta: bitmaps are idempotent, so the
+        // cumulative set is deterministic for a fixed binary and config and
+        // cannot lose bits when an earlier stage (e.g. a bench warm-up)
+        // happens to pre-cover something the pipeline also covers.
+        let manifest = crate::manifest::RunManifest::build(
+            &run_id,
+            &config,
+            &out,
+            &delta,
+            &coverage::snapshot(),
+        );
+        match manifest.write() {
+            Ok(path) => eprintln!("[manifest] wrote {}", path.display()),
+            Err(e) => eprintln!("[manifest] write failed: {e}"),
+        }
+        if !out.deviations.is_empty() {
+            let path = crate::manifest::run_dir(&run_id).join("flightrec-deviations.jsonl");
+            if let Err(e) = flight::dump_to(&path) {
+                eprintln!("[manifest] flight dump failed: {e}");
+            }
+        }
+    }
     out
+}
+
+/// Appends one deviation record and leaves a breadcrumb in the flight
+/// recorder (the recorder's merged dump is written alongside the manifest
+/// whenever a run with deviations finishes).
+fn record_deviation(
+    deviations: &mut Vec<DeviationRecord>,
+    target: &str,
+    test: &str,
+    d: &crate::compare::Difference,
+) {
+    flight::note("pipeline.deviation", || {
+        format!("{target} {test} insn={} cause={}", hex(&d.insn), d.cause)
+    });
+    deviations.push(DeviationRecord {
+        target: target.to_owned(),
+        test: test.to_owned(),
+        insn_hex: hex(&d.insn),
+        path_id: d.path_id,
+        cause: d.cause.to_string(),
+        components: d.components.clone(),
+    });
 }

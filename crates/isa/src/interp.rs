@@ -83,6 +83,18 @@ pub(crate) enum Flow {
 
 pub(crate) type ExecResult = Result<Flow, Exception>;
 
+/// Size of the `coverage.exception` bitmap: one bit per interrupt vector.
+pub const EXCEPTION_COVERAGE_BITS: usize = 256;
+
+/// Records an exception vector in the `coverage.exception` map — which
+/// exception *classes* interpretation has exercised (the axis Tables 3–4
+/// cluster deviations by).
+fn record_exception(e: &Exception) {
+    static COV: std::sync::OnceLock<pokemu_rt::CoverageMap> = std::sync::OnceLock::new();
+    COV.get_or_init(|| pokemu_rt::coverage::map("coverage.exception", EXCEPTION_COVERAGE_BITS))
+        .set(e.vector() as usize);
+}
+
 /// Executes one full instruction step: fetch (through CS, with paging),
 /// decode, execute.
 pub fn step<D: Dom>(d: &mut D, m: &mut Machine<D::V>, q: &Quirks) -> StepOutcome {
@@ -91,7 +103,10 @@ pub fn step<D: Dom>(d: &mut D, m: &mut Machine<D::V>, q: &Quirks) -> StepOutcome
         let r = decode(d, |d: &mut D, idx: u8| fetch_byte(d, m, start_eip, idx));
         match r {
             Ok(i) => i,
-            Err(e) => return StepOutcome::Exception(e),
+            Err(e) => {
+                record_exception(&e);
+                return StepOutcome::Exception(e);
+            }
         }
     };
     execute_decoded(d, m, q, &inst, start_eip)
@@ -113,6 +128,7 @@ pub fn execute_decoded<D: Dom>(
         Ok(Flow::Next) => StepOutcome::Normal,
         Ok(Flow::Halt) => StepOutcome::Halt,
         Err(e) => {
+            record_exception(&e);
             m.eip = start_eip;
             StepOutcome::Exception(e)
         }

@@ -13,7 +13,7 @@ use pokemu_isa::translate::desc_kind;
 use crate::mmu::{self, Tlb};
 use crate::state::{CcOp, CcState, Fidelity, LofiMachine};
 use crate::translate::Tb;
-use crate::uop::{AluKind, CcKind, Helper, Uop};
+use crate::uop::{AluKind, CcKind, Helper, Uop, UOP_COVERAGE_BITS};
 
 /// The Lo-Fi execution core: machine + TLB + fidelity profile.
 #[derive(Debug)]
@@ -159,7 +159,13 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
             }
         };
     }
+    // Resolve the µop coverage map once per process; per-µop recording is
+    // then one relaxed `fetch_or` (or a single relaxed load when disabled).
+    static UOP_COV: std::sync::OnceLock<pokemu_rt::CoverageMap> = std::sync::OnceLock::new();
+    let uop_cov =
+        *UOP_COV.get_or_init(|| pokemu_rt::coverage::map("coverage.uop", UOP_COVERAGE_BITS));
     for uop in &tb.uops {
+        uop_cov.set(uop.cov_index());
         match *uop {
             Uop::InsnStart { cur, next } => {
                 cur_insn = cur;

@@ -550,3 +550,93 @@ pub enum Uop {
         set: bool,
     },
 }
+
+/// Size of the `coverage.uop` bitmap (kind indices are far below this;
+/// headroom for new micro-ops without resizing the committed baseline).
+pub const UOP_COVERAGE_BITS: usize = 128;
+
+impl Helper {
+    /// Stable kind index of this helper, `0..=37` (payload-independent).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Helper::LoadSeg { .. } => 0,
+            Helper::PopSeg { .. } => 1,
+            Helper::PushF { .. } => 2,
+            Helper::PopF { .. } => 3,
+            Helper::Sahf => 4,
+            Helper::Shift { .. } => 5,
+            Helper::ShiftD { .. } => 6,
+            Helper::MulDiv { .. } => 7,
+            Helper::Imul2 { .. } => 8,
+            Helper::CmpxchgMem { .. } => 9,
+            Helper::CmpxchgReg { .. } => 10,
+            Helper::BitOpMem { .. } => 11,
+            Helper::BitOpReg { .. } => 12,
+            Helper::BsfBsr { .. } => 13,
+            Helper::Bcd { .. } => 14,
+            Helper::StringOp { .. } => 15,
+            Helper::Iret { .. } => 16,
+            Helper::RetFar { .. } => 17,
+            Helper::FarXfer { .. } => 18,
+            Helper::Enter { .. } => 19,
+            Helper::Bound { .. } => 20,
+            Helper::Arpl { .. } => 21,
+            Helper::MovCr { .. } => 22,
+            Helper::DescTable { .. } => 23,
+            Helper::Smsw { .. } => 24,
+            Helper::Lmsw { .. } => 25,
+            Helper::Msr { .. } => 26,
+            Helper::Rdtsc => 27,
+            Helper::Cpuid => 28,
+            Helper::LarLsl { .. } => 29,
+            Helper::Verrw { .. } => 30,
+            Helper::SldtStr { .. } => 31,
+            Helper::LldtLtr { .. } => 32,
+            Helper::Clts => 33,
+            Helper::CliSti { .. } => 34,
+            Helper::Invlpg => 35,
+            Helper::CacheOp => 36,
+            Helper::Hlt => 37,
+        }
+    }
+}
+
+impl Uop {
+    /// Stable bit index of this micro-op's *kind* in the `coverage.uop`
+    /// map: plain micro-ops occupy `0..28`, helpers `28..66` (sub-indexed
+    /// by [`Helper::kind_index`] so "executed some helper" doesn't collapse
+    /// 38 distinct out-of-line implementations into one bit).
+    pub fn cov_index(&self) -> usize {
+        match self {
+            Uop::InsnStart { .. } => 0,
+            Uop::Const { .. } => 1,
+            Uop::ReadReg { .. } => 2,
+            Uop::WriteReg { .. } => 3,
+            Uop::ReadSel { .. } => 4,
+            Uop::Alu { .. } => 5,
+            Uop::Not { .. } => 6,
+            Uop::Neg { .. } => 7,
+            Uop::Ext { .. } => 8,
+            Uop::Bswap { .. } => 9,
+            Uop::Ld { .. } => 10,
+            Uop::St { .. } => 11,
+            Uop::Lea { .. } => 12,
+            Uop::SetCc { .. } => 13,
+            Uop::GetEflags { .. } => 14,
+            Uop::GetCf { .. } => 15,
+            Uop::TestCc { .. } => 16,
+            Uop::Select { .. } => 17,
+            Uop::SetEip { .. } => 18,
+            Uop::SetEipImm { .. } => 19,
+            Uop::BrCc { .. } => 20,
+            Uop::BrCondT { .. } => 21,
+            Uop::Halt => 22,
+            Uop::Raise { .. } => 23,
+            Uop::Int { .. } => 24,
+            Uop::Into => 25,
+            Uop::SetCarry { .. } => 26,
+            Uop::SetDirection { .. } => 27,
+            Uop::Helper(h) => 28 + h.kind_index(),
+        }
+    }
+}

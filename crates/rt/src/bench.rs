@@ -225,7 +225,7 @@ fn fmt_ns(ns: u64) -> String {
 
 /// The workspace `target/` directory: `$CARGO_TARGET_DIR` if set, else the
 /// nearest ancestor `target/` of the current directory, else `./target`.
-pub(crate) fn target_dir() -> PathBuf {
+pub fn target_dir() -> PathBuf {
     if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
         return PathBuf::from(d);
     }

@@ -66,6 +66,24 @@ impl Value {
     }
 }
 
+/// Escapes a string for embedding in a hand-rolled JSON writer (the
+/// counterpart of [`parse`] for the workspace's emit side).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A parse failure, with byte offset for context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {

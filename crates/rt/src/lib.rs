@@ -11,6 +11,13 @@
 //! | `criterion` | [`bench`]: warm-up + K timed samples, median/p95, JSON lines in `target/bench/` |
 //! | `tracing` + `metrics` + `serde_json` | [`trace`]: structured spans with Chrome `trace_event` export; [`metrics`]: counters / timers / log-scale histograms with snapshot-diff; [`json`]: the matching zero-dep JSON reader |
 //!
+//! On top of the replacements, two observability primitives with no
+//! external equivalent in the old dependency set: [`coverage`] (fixed-size
+//! atomic bitmaps recording opcode / path / µop / exception-class coverage,
+//! snapshot-diffable and JSONL-exportable for the run manifest and the CI
+//! coverage gate) and [`flight`] (a per-thread ring buffer of recent events,
+//! dumped post-hoc on panic or cross-validation deviation).
+//!
 //! Determinism is the point, not just offline builds: the same seeds produce
 //! the same exploration choices, the same random-baseline tests (E5), and
 //! the same property-test cases on every machine, so experiment results and
@@ -19,6 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod coverage;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -26,6 +35,8 @@ pub mod prop;
 pub mod rng;
 pub mod trace;
 
+pub use coverage::{CoverageMap, CoverageSnapshot, MapSnapshot};
+pub use flight::FlightEvent;
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Timer};
 pub use pool::{for_each, PoolRun, WorkerStats};
 pub use prop::Gen;

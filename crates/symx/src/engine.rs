@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use pokemu_rt::{metrics, Rng};
+use pokemu_rt::{coverage, metrics, Rng};
 use pokemu_solver::{BvSolver, Model, SatResult, TermId, TermPool, VarId, Width};
 
 use crate::dom::Dom;
@@ -70,6 +70,11 @@ pub struct PathOutcome<T> {
     pub path_condition: Vec<TermId>,
     /// A satisfying assignment for the path condition.
     pub model: Model,
+    /// FNV-1a hash of the path's branch decisions (each branch site's name
+    /// plus the direction taken). Deterministic for a given program and
+    /// engine seed, independent of worker scheduling, so it names the path
+    /// in coverage maps, run manifests, and deviation reports.
+    pub path_id: u64,
 }
 
 /// The result of exploring a program.
@@ -126,6 +131,7 @@ pub struct Executor {
     // ---- per-path state ----
     cur: NodeId,
     path: Vec<TermId>,
+    path_hash: u64,
     branches_this_path: usize,
     dead: bool,
     exploring: bool,
@@ -142,7 +148,13 @@ struct EngineMetrics {
     pruned_branches: metrics::Counter,
     summary_hits: metrics::Counter,
     pick_cache_hits: metrics::Counter,
+    /// Path-id coverage bitmap (`coverage.path`): one bit per explored
+    /// path-decision hash, modulo the map size.
+    path_cov: coverage::CoverageMap,
 }
+
+/// Size of the `coverage.path` bitmap; path-id hashes index it modulo this.
+pub const PATH_COVERAGE_BITS: usize = 65_536;
 
 impl EngineMetrics {
     fn new() -> Self {
@@ -153,8 +165,21 @@ impl EngineMetrics {
             pruned_branches: metrics::counter("symx.pruned_branches"),
             summary_hits: metrics::counter("symx.summary_hits"),
             pick_cache_hits: metrics::counter("symx.pick_cache_hits"),
+            path_cov: coverage::map("coverage.path", PATH_COVERAGE_BITS),
         }
     }
+}
+
+/// FNV-1a offset basis (the per-path hash starts here).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl Default for Executor {
@@ -183,6 +208,7 @@ impl Executor {
             pick_cache: HashMap::new(),
             cur: NodeId::ROOT,
             path: Vec::new(),
+            path_hash: FNV_OFFSET,
             branches_this_path: 0,
             dead: false,
             exploring: false,
@@ -254,6 +280,7 @@ impl Executor {
     fn begin_path(&mut self) {
         self.cur = NodeId::ROOT;
         self.path.clear();
+        self.path_hash = FNV_OFFSET;
         self.branches_this_path = 0;
         self.dead = false;
     }
@@ -308,10 +335,13 @@ impl Executor {
                 .expect("path condition invariantly satisfiable");
             self.stats.paths += 1;
             self.metrics.paths.inc();
+            let path_id = self.path_hash;
+            self.metrics.path_cov.set(path_id as usize);
             paths.push(PathOutcome {
                 value,
                 path_condition: self.path.clone(),
                 model,
+                path_id,
             });
         }
         let hit_cap = paths.len() >= self.config.max_paths && !self.tree.fully_explored();
@@ -482,7 +512,7 @@ impl Dom for Executor {
         self.pool.sext(a, w)
     }
 
-    fn branch(&mut self, cond: TermId, _site: &'static str) -> bool {
+    fn branch(&mut self, cond: TermId, site: &'static str) -> bool {
         if let Some(c) = self.pool.as_const(cond) {
             return c != 0;
         }
@@ -538,6 +568,11 @@ impl Dom for Executor {
             1 => candidates[0],
             _ => candidates[self.rng.gen_range(0..candidates.len())],
         };
+        // Fold (site, direction) into the path-id hash: the decision list
+        // identifies the path, and hashing the site name (not the term id)
+        // keeps ids stable across engines and worker scheduling.
+        self.path_hash = fnv1a(self.path_hash, site.as_bytes());
+        self.path_hash = fnv1a(self.path_hash, &[dir as u8]);
         self.path.push(if dir { cond } else { ncond });
         self.cur = self.tree.child(node, dir);
         dir

@@ -32,6 +32,8 @@ pub mod summary;
 pub mod tree;
 
 pub use dom::{CVal, Concrete, Dom};
-pub use engine::{Executor, Exploration, ExploreConfig, ExploreStats, PathOutcome};
+pub use engine::{
+    Executor, Exploration, ExploreConfig, ExploreStats, PathOutcome, PATH_COVERAGE_BITS,
+};
 pub use minimize::{diff_from_baseline, minimize, MinimizeStats};
 pub use summary::{conjoin, Summary};

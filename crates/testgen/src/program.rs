@@ -23,6 +23,9 @@ pub struct TestProgram {
     pub test_insn: Vec<u8>,
     /// The state items this test establishes.
     pub state: TestState,
+    /// The symbolic-exploration path this test exercises (0 when the test
+    /// did not come from state-space exploration, e.g. random baselines).
+    pub path_id: u64,
 }
 
 impl TestProgram {
@@ -50,6 +53,7 @@ impl TestProgram {
             test_insn_offset,
             test_insn: test_insn.to_vec(),
             state,
+            path_id: 0,
         })
     }
 

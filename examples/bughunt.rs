@@ -49,6 +49,8 @@ fn main() {
                     &pokemu::harness::Difference {
                         components: Vec::new(),
                         cause: cause.clone(),
+                        insn: Vec::new(),
+                        path_id: 0,
                     },
                 );
             }
@@ -60,6 +62,8 @@ fn main() {
                     &pokemu::harness::Difference {
                         components: Vec::new(),
                         cause: cause.clone(),
+                        insn: Vec::new(),
+                        path_id: 0,
                     },
                 );
             }

@@ -17,11 +17,36 @@ echo "== smoke bench (pokemu_rt::bench end to end)"
 cargo run --release --offline -p pokemu-bench --bin smoke-bench
 
 echo "== trace smoke (pokemu_rt::trace end to end)"
-# Re-run the smoke bench with tracing on: the pipeline exports a Chrome
-# trace + metrics dump, and pokemu-report --check gates on the trace
+# Re-run the smoke bench with tracing + the run manifest on: the pipeline
+# exports a Chrome trace + metrics dump and writes
+# target/run/smoke/manifest.json; pokemu-report --check gates on the trace
 # parsing, all five Fig.1 stage spans being present, and zero dropped
 # trace events.
-POKEMU_TRACE=1 cargo run --release --offline -p pokemu-bench --bin smoke-bench
+POKEMU_TRACE=1 POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=smoke \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench
 cargo run --release --offline -p pokemu-bench --bin pokemu-report -- --check --top 5
+
+echo "== coverage gate (run manifest vs committed baseline)"
+# The smoke run above emitted a manifest with the run's coverage bitmaps
+# and root-cause clusters; the gate fails if any coverage bit present in
+# the committed baseline is missing from this run or the cluster set
+# changed. Refresh the baseline with scripts/refresh-baseline.sh after an
+# intentional change.
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    diff --baseline tests/baselines/smoke-manifest.json \
+    --manifest target/run/smoke/manifest.json --check
+
+echo "== coverage gate self-test (a coverage-blind run must fail the gate)"
+# Prove the gate actually gates: with coverage recording disabled the
+# manifest records empty bitmaps, which the diff must reject.
+POKEMU_COVERAGE=0 POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=smoke-nocov \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    diff --baseline tests/baselines/smoke-manifest.json \
+    --manifest target/run/smoke-nocov/manifest.json --check >/dev/null 2>&1; then
+    echo "ERROR: coverage gate passed a coverage-blind run" >&2
+    exit 1
+fi
+echo "coverage gate correctly rejected the coverage-blind run"
 
 echo "CI OK"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates the committed CI baseline manifest from a fresh smoke run.
+#
+# One command: after an intentional coverage/cluster change, run this and
+# commit the updated tests/baselines/smoke-manifest.json. The baseline's
+# comparable sections (counts, coverage, clusters, deviations) are
+# deterministic for the fixed smoke config, so the file is machine- and
+# thread-count-independent; timings vary but are never compared.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=smoke \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench
+mkdir -p tests/baselines
+cp target/run/smoke/manifest.json tests/baselines/smoke-manifest.json
+echo "baseline refreshed: tests/baselines/smoke-manifest.json"

@@ -113,6 +113,63 @@ fn metrics_counters_are_byte_identical_across_thread_counts() {
     assert_eq!(one, eight, "1-thread vs 8-thread counter dumps differ");
 }
 
+/// Coverage bitmaps and the manifest's deviation list obey the same
+/// thread-count-invariance contract as the counters: the accounting the CI
+/// gate compares against a committed baseline must not depend on worker
+/// scheduling. Coverage maps are *cumulative* (set-only bits), so the
+/// snapshot after each of three identical runs — at 1, 2, and 8 worker
+/// threads — must be byte-identical, and so must each run's full
+/// [`DeviationRecord`] list (name, instruction bytes, path-id, cause, and
+/// components per deviation).
+#[test]
+fn coverage_and_deviations_are_thread_count_invariant() {
+    let _metrics = metrics_lock();
+    pokemu_rt::coverage::set_enabled(true);
+    let run = |threads| {
+        let cv = run_cross_validation(PipelineConfig {
+            first_byte: Some(0x80),
+            max_paths_per_insn: 64,
+            threads,
+            ..PipelineConfig::default()
+        });
+        (cv, pokemu_rt::coverage::snapshot())
+    };
+    let (cv1, cov1) = run(1);
+    let (cv2, cov2) = run(2);
+    let (cv8, cov8) = run(8);
+
+    // The run produced real deviations with provenance attached.
+    assert!(!cv1.deviations.is_empty(), "0x80 must deviate on Lo-Fi");
+    assert_eq!(cv1.deviations.len(), cv1.lofi_filtered + cv1.hifi_filtered);
+    assert!(
+        cv1.deviations.iter().all(|d| !d.insn_hex.is_empty()),
+        "every deviation must carry its instruction bytes"
+    );
+    assert!(
+        cv1.deviations.iter().any(|d| d.path_id != 0),
+        "explored-path deviations must carry non-zero path ids"
+    );
+
+    // Byte-identical deviation lists across thread counts...
+    assert_eq!(cv1.deviations, cv2.deviations, "1 vs 2 worker threads");
+    assert_eq!(cv1.deviations, cv8.deviations, "1 vs 8 worker threads");
+
+    // ...and byte-identical coverage bitmaps, including the JSONL export
+    // the manifest and baseline diff are built from.
+    for name in [
+        "coverage.opcode",
+        "coverage.path",
+        "coverage.uop",
+        "coverage.exception",
+    ] {
+        let m = cov1.map(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!(m.set_count() > 0, "{name} must be non-empty");
+    }
+    assert_eq!(cov1, cov2, "1 vs 2 worker threads coverage");
+    assert_eq!(cov1, cov8, "1 vs 8 worker threads coverage");
+    assert_eq!(cov1.to_jsonl(), cov8.to_jsonl());
+}
+
 /// The random baseline is a function of its seed.
 #[test]
 fn random_baseline_is_a_function_of_its_seed() {
