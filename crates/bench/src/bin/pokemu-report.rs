@@ -276,15 +276,22 @@ impl Report {
         let queries = self.counter("solver.queries");
         let sat = self.counter("solver.sat");
         let unsat = self.counter("solver.unsat");
+        let unknown = self.counter("solver.unknown");
         let summary_hits = self.counter("symx.summary_hits");
         let cache_hits = self.counter("symx.pick_cache_hits");
         println!("== solver");
         println!(
-            "  queries {queries}  sat {sat} ({:.1}%)  unsat {unsat} ({:.1}%)",
+            "  queries {queries}  sat {sat} ({:.1}%)  unsat {unsat} ({:.1}%)  unknown {unknown}",
             pct(sat as f64, queries as f64),
             pct(unsat as f64, queries as f64)
         );
         println!("  summary hits {summary_hits}  pick-cache hits {cache_hits}");
+        let quarantined = self.counter("pool.quarantined");
+        let injected = self.counter("fault.injected");
+        if quarantined > 0 || injected > 0 {
+            println!("== robustness");
+            println!("  pool.quarantined {quarantined}  fault.injected {injected}");
+        }
 
         // Worker utilization: per-tid busy time inside the parallel stage.
         let parallel = self.stage_total("stage.parallel");
@@ -356,6 +363,13 @@ struct ManifestData {
     /// target (`lofi`/`hifi`) -> sorted root-cause names.
     clusters: BTreeMap<String, Vec<String>>,
     deviations: usize,
+    /// `"completed"` flag; manifests older than the robustness layer read
+    /// as completed (they could only exist by finishing).
+    completed: bool,
+    /// `robustness.quarantined` count (0 for pre-robustness manifests).
+    quarantined: u64,
+    /// `robustness.unknown_queries` count (0 for pre-robustness manifests).
+    unknown_queries: u64,
 }
 
 fn load_manifest(path: &Path) -> Result<ManifestData, String> {
@@ -397,11 +411,27 @@ fn load_manifest(path: &Path) -> Result<ManifestData, String> {
         .and_then(Value::as_array)
         .map(<[Value]>::len)
         .unwrap_or(0);
+    let completed = root
+        .get("completed")
+        .and_then(Value::as_bool)
+        .unwrap_or(true);
+    let robustness = root.get("robustness");
+    let rob_count = |key: &str| {
+        robustness
+            .and_then(|r| r.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let quarantined = rob_count("quarantined");
+    let unknown_queries = rob_count("unknown_queries");
     Ok(ManifestData {
         run_id,
         coverage,
         clusters,
         deviations,
+        completed,
+        quarantined,
+        unknown_queries,
     })
 }
 
@@ -461,14 +491,35 @@ fn cmd_coverage(args: &mut std::env::Args) -> ExitCode {
         );
     }
     println!("  deviations            {:>6}", m.deviations);
+    println!(
+        "  robustness            completed={} quarantined={} unknown_queries={}",
+        m.completed, m.quarantined, m.unknown_queries
+    );
     ExitCode::SUCCESS
 }
 
 /// `pokemu-report diff`: baseline-vs-run regression report. Violations are
-/// coverage bits present in the baseline but missing from the run, and any
-/// change to a target's root-cause cluster set.
+/// coverage bits present in the baseline but missing from the run, any
+/// change to a target's root-cause cluster set, and robustness regressions:
+/// a run that did not complete, or quarantine/unknown counts growing past
+/// the baseline's.
 fn diff_violations(base: &ManifestData, cur: &ManifestData) -> Vec<String> {
     let mut violations = Vec::new();
+    if !cur.completed {
+        violations.push("run manifest says \"completed\": false (deadline cut the run)".to_owned());
+    }
+    if cur.quarantined > base.quarantined {
+        violations.push(format!(
+            "robustness.quarantined grew: baseline {} -> run {}",
+            base.quarantined, cur.quarantined
+        ));
+    }
+    if cur.unknown_queries > base.unknown_queries {
+        violations.push(format!(
+            "robustness.unknown_queries grew: baseline {} -> run {}",
+            base.unknown_queries, cur.unknown_queries
+        ));
+    }
     for (name, bmap) in &base.coverage {
         match cur.coverage.get(name) {
             None => violations.push(format!("{name}: map missing from run manifest")),

@@ -59,13 +59,25 @@ fn main() {
         threads: 2,
         ..Default::default()
     });
-    assert!(cv.total_paths > 0, "pipeline explored no paths: {cv:?}");
+    // A deadline-cut run (POKEMU_RUN_DEADLINE_MS) may legitimately have
+    // dispatched nothing; only a run claiming completion must show work.
+    if cv.completed && cv.quarantined.is_empty() {
+        assert!(cv.total_paths > 0, "pipeline explored no paths: {cv:?}");
+    }
     println!(
         "[smoke-bench] pipeline: {} insns, {} paths, {} solver queries, {} workers",
         cv.unique_instructions,
         cv.total_paths,
         cv.stages.solver_queries,
         cv.stages.workers.len()
+    );
+    println!(
+        "[smoke-bench] robustness: completed={} quarantined={} skipped={} unknown={} infeasible={}",
+        cv.completed,
+        cv.quarantined.len(),
+        cv.skipped_instructions,
+        cv.unknown_queries,
+        cv.infeasible_paths
     );
 
     let path = bench.out_path().to_path_buf();

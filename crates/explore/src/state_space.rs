@@ -63,6 +63,12 @@ pub struct StateSpace {
     pub complete: bool,
     /// Engine statistics.
     pub solver_queries: u64,
+    /// Solver queries abandoned as Unknown (budget exhausted or fault
+    /// injected); nonzero implies `complete == false`.
+    pub unknown_queries: u64,
+    /// Replayed paths whose condition was unsatisfiable at the end (demoted
+    /// from a panic; see `ExploreStats::infeasible_paths`).
+    pub infeasible_paths: usize,
 }
 
 /// Configuration for state-space exploration.
@@ -75,6 +81,9 @@ pub struct StateSpaceConfig {
     pub use_summaries: bool,
     /// Skip state-difference minimization (E8 ablation).
     pub minimize: bool,
+    /// Wall-clock deadline for this instruction's exploration; past it the
+    /// engine stops starting paths and reports `complete = false`.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for StateSpaceConfig {
@@ -83,6 +92,7 @@ impl Default for StateSpaceConfig {
             max_paths: 8192,
             use_summaries: true,
             minimize: true,
+            deadline: None,
         }
     }
 }
@@ -97,15 +107,21 @@ pub fn explore_state_space(
     let _span = pokemu_rt::span!("explore.state_space", insn = insn_hex(insn));
     let mut exec = Executor::with_config(ExploreConfig {
         max_paths: config.max_paths,
+        deadline: config.deadline,
         ..ExploreConfig::default()
     });
 
     if config.use_summaries {
-        let summary = exec.summarize(
+        // A summary that cannot be folded exhaustively (starved solver,
+        // expired deadline) is skipped, not fatal: exploration falls back
+        // to executing the real descriptor-check code on every path.
+        match exec.try_summarize(
             &[(32, "lo"), (32, "hi"), (16, "sel"), (2, "cpl"), (2, "kind")],
             |e, f| descriptor_checks(e, f[0], f[1], f[2], f[3], f[4]).to_vec(),
-        );
-        exec.register_summary(DESC_SUMMARY_KEY, summary);
+        ) {
+            Some(summary) => exec.register_summary(DESC_SUMMARY_KEY, summary),
+            None => metrics::counter("explore.summary_skipped").inc(),
+        }
     }
 
     let mem_template = {
@@ -174,11 +190,14 @@ pub fn explore_state_space(
     } else {
         metrics::counter("explore.incomplete").inc();
     }
+    let estats = exec.stats();
     StateSpace {
         insn: insn.to_vec(),
         paths,
         complete: result.complete,
-        solver_queries: exec.stats().solver_queries,
+        solver_queries: estats.solver_queries,
+        unknown_queries: estats.unknown,
+        infeasible_paths: estats.infeasible_paths,
     }
 }
 
@@ -214,6 +233,7 @@ mod tests {
             max_paths: 512,
             use_summaries: true,
             minimize: true,
+            deadline: None,
         }
     }
 

@@ -20,7 +20,8 @@ pub use compare::{class_of, compare, undefined_flags_of, Clusters, Difference, R
 pub use manifest::RunManifest;
 pub use pipeline::{
     generate_for_instruction, run_cross_validation, run_on_all_targets, CaseOutcome,
-    CrossValidation, DeviationRecord, PipelineConfig, StageStats,
+    CrossValidation, DeviationRecord, InsnGeneration, PipelineConfig, StageStats,
+    INSN_DEADLINE_ENV, RUN_DEADLINE_ENV,
 };
 pub use random::{run_random_baseline, RandomConfig, RandomRun};
 pub use targets::{baseline_snapshot, HardwareTarget, HiFiTarget, LofiTarget, Target};

@@ -7,16 +7,23 @@
 //! ```json
 //! {
 //!   "run_id": "smoke",
+//!   "completed": true,
 //!   "config": { "first_byte": 128, "threads": 2, ... },
 //!   "counts": { "candidates": 27, "total_paths": 54, ... },
 //!   "timings_ns": { "total_wall": ..., "explore_insns": ..., ... },
 //!   "metrics": { "counters": {...}, "timers_ns": {...} },
 //!   "coverage": { "coverage.opcode": {"bits":512,"set":1,"indices":[128]}, ... },
 //!   "clusters": { "lofi": [ {"cause":"...","count":3,"examples":[...]} ], "hifi": [] },
+//!   "robustness": { "quarantined": 0, "skipped_instructions": 0,
+//!                   "unknown_queries": 0, "infeasible_paths": 0, "quarantine": [] },
 //!   "deviations": [ {"target":"lofi","test":"...","insn":"f7f1",
 //!                    "path_id":123456789,"cause":"...","components":[...]} ]
 //! }
 //! ```
+//!
+//! `"completed": false` marks a run cut short by the whole-run deadline
+//! (`POKEMU_RUN_DEADLINE_MS`): every section still reflects the work that
+//! finished, so a partial manifest is useful evidence, not garbage.
 //!
 //! `counts`, `coverage`, `clusters`, and `deviations` are deterministic for
 //! a fixed config and seed (thread-count-invariant; proven by
@@ -151,16 +158,29 @@ impl RunManifest {
             clusters_json(&out.hifi_clusters)
         );
         let deviations: Vec<String> = out.deviations.iter().map(deviation_json).collect();
+        let quarantine: Vec<String> = out.quarantined.iter().map(quarantine_json).collect();
+        let robustness_json = format!(
+            "{{\"quarantined\":{},\"skipped_instructions\":{},\"unknown_queries\":{},\
+             \"infeasible_paths\":{},\"quarantine\":[{}]}}",
+            out.quarantined.len(),
+            out.skipped_instructions,
+            out.unknown_queries,
+            out.infeasible_paths,
+            quarantine.join(","),
+        );
         let json = format!(
-            "{{\n\"run_id\":\"{}\",\n\"config\":{},\n\"counts\":{},\n\"timings_ns\":{},\n\
-             \"metrics\":{},\n\"coverage\":{},\n\"clusters\":{},\n\"deviations\":[{}]\n}}\n",
+            "{{\n\"run_id\":\"{}\",\n\"completed\":{},\n\"config\":{},\n\"counts\":{},\n\
+             \"timings_ns\":{},\n\"metrics\":{},\n\"coverage\":{},\n\"clusters\":{},\n\
+             \"robustness\":{},\n\"deviations\":[{}]\n}}\n",
             escape(run_id),
+            out.completed,
             config_json,
             counts_json,
             timings_json,
             metrics_json,
             coverage.to_json_object(),
             clusters_json,
+            robustness_json,
             deviations.join(","),
         );
         RunManifest {
@@ -212,6 +232,23 @@ fn clusters_json(c: &crate::compare::Clusters) -> String {
         })
         .collect();
     format!("[{}]", entries.join(","))
+}
+
+/// Renders one quarantine entry. The worker id is *not* serialized: it
+/// depends on thread scheduling, and the manifest's robustness section must
+/// stay deterministic for the baseline diff gate. The captured flight
+/// events are summarized by count (the full dump lives next to the
+/// manifest in `flightrec-quarantine.jsonl`).
+fn quarantine_json(q: &pokemu_rt::QuarantineRecord) -> String {
+    let item = match q.item {
+        Some(i) => i.to_string(),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"item\":{item},\"message\":\"{}\",\"flight_events\":{}}}",
+        escape(&q.message),
+        q.flight.len()
+    )
 }
 
 fn deviation_json(d: &DeviationRecord) -> String {

@@ -23,7 +23,7 @@
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use pokemu_rt::{coverage, flight, metrics, trace, WorkerStats};
+use pokemu_rt::{coverage, flight, metrics, pool, trace, QuarantineRecord, WorkerStats};
 
 use pokemu_explore::{
     explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
@@ -60,6 +60,30 @@ pub struct PipelineConfig {
     /// run finishes (equivalent to `POKEMU_RUN_MANIFEST=1`; the run id
     /// comes from `POKEMU_RUN_ID`, see [`crate::manifest`]).
     pub manifest: bool,
+    /// Whole-run wall deadline: past it the pool stops dispatching new
+    /// instructions, in-flight ones finish, everything gathered so far is
+    /// analyzed and flushed, and the manifest says `"completed": false`.
+    /// Defaults from `POKEMU_RUN_DEADLINE_MS`.
+    pub run_deadline: Option<Duration>,
+    /// Per-instruction wall deadline for state-space exploration; an
+    /// instruction past it keeps its paths so far and is counted as not
+    /// fully explored. Defaults from `POKEMU_INSN_DEADLINE_MS`.
+    pub insn_deadline: Option<Duration>,
+}
+
+/// Env var: whole-run deadline in milliseconds (see
+/// [`PipelineConfig::run_deadline`]).
+pub const RUN_DEADLINE_ENV: &str = "POKEMU_RUN_DEADLINE_MS";
+
+/// Env var: per-instruction exploration deadline in milliseconds (see
+/// [`PipelineConfig::insn_deadline`]).
+pub const INSN_DEADLINE_ENV: &str = "POKEMU_INSN_DEADLINE_MS";
+
+fn env_ms(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
 }
 
 impl Default for PipelineConfig {
@@ -75,6 +99,8 @@ impl Default for PipelineConfig {
                 .unwrap_or(4),
             trace: false,
             manifest: false,
+            run_deadline: env_ms(RUN_DEADLINE_ENV),
+            insn_deadline: env_ms(INSN_DEADLINE_ENV),
         }
     }
 }
@@ -162,6 +188,20 @@ pub struct CrossValidation {
     pub deviations: Vec<DeviationRecord>,
     /// Per-stage cost breakdown (E6).
     pub stages: StageStats,
+    /// `false` when the whole-run deadline tripped and dispatch stopped
+    /// early; everything above still reflects the work that did finish.
+    /// Quarantined instructions do *not* clear this flag — a finished run
+    /// with failures attributed is a completed run.
+    pub completed: bool,
+    /// Instructions whose worker panicked; the failure is attributed here
+    /// instead of aborting the campaign.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Instructions never dispatched because the run deadline passed.
+    pub skipped_instructions: usize,
+    /// Solver queries across all instructions abandoned as Unknown.
+    pub unknown_queries: u64,
+    /// Replayed paths found unsatisfiable at path end (demoted panic).
+    pub infeasible_paths: usize,
 }
 
 /// The result of running one test on all three targets.
@@ -193,15 +233,33 @@ pub fn run_on_all_targets(prog: &TestProgram, lofi_fidelity: Fidelity) -> CaseOu
     }
 }
 
+/// What [`generate_for_instruction`] produced for one instruction.
+#[derive(Debug)]
+pub struct InsnGeneration {
+    /// One runnable test program per explored path.
+    pub programs: Vec<TestProgram>,
+    /// Whether state-space exploration was exhaustive (no path cap, no
+    /// deadline trip, no Unknown-pruned branch).
+    pub complete: bool,
+    /// Solver queries issued.
+    pub solver_queries: u64,
+    /// Solver queries abandoned as Unknown (budget/fault).
+    pub unknown_queries: u64,
+    /// Replayed paths whose condition was unsatisfiable at the end.
+    pub infeasible_paths: usize,
+}
+
 /// Generates the test programs for one instruction representative.
-/// Returns the programs, whether exploration was exhaustive, and how many
-/// solver queries it cost.
+///
+/// `deadline` bounds this instruction's state-space exploration: past it,
+/// paths gathered so far are kept and `complete` comes back `false`.
 pub fn generate_for_instruction(
     name: &str,
     insn: &[u8],
     baseline: &Snapshot,
     max_paths: usize,
-) -> (Vec<TestProgram>, bool, u64) {
+    deadline: Option<Instant>,
+) -> InsnGeneration {
     let (space, explore_d) = trace::timed_with(
         "stage.explore_states",
         || vec![("insn", name.to_owned())],
@@ -211,19 +269,26 @@ pub fn generate_for_instruction(
                 baseline,
                 StateSpaceConfig {
                     max_paths,
+                    deadline,
                     ..StateSpaceConfig::default()
                 },
             )
         },
     );
     metrics::timer("stage.explore_states.ns").add(explore_d);
-    let (progs, testgen_d) = trace::timed_with(
+    let (programs, testgen_d) = trace::timed_with(
         "stage.testgen",
         || vec![("insn", name.to_owned())],
         || pokemu_explore::to_test_programs(&space, name),
     );
     metrics::timer("stage.testgen.ns").add(testgen_d);
-    (progs, space.complete, space.solver_queries)
+    InsnGeneration {
+        programs,
+        complete: space.complete,
+        solver_queries: space.solver_queries,
+        unknown_queries: space.unknown_queries,
+        infeasible_paths: space.infeasible_paths,
+    }
 }
 
 /// What one worker produced for one instruction representative.
@@ -231,6 +296,8 @@ struct ItemOutcome {
     complete: bool,
     n_paths: usize,
     solver_queries: u64,
+    unknown_queries: u64,
+    infeasible_paths: usize,
     /// `(test name, instruction bytes, path id, outcome)` per test program.
     cases: Vec<(String, Vec<u8>, u64, CaseOutcome)>,
 }
@@ -279,22 +346,40 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     // into the slot for its item index — no result lock, no post-hoc sort:
     // slot order *is* the deterministic analysis order. Stage timing flows
     // through the `stage.*` spans and timer metrics recorded per item.
+    // A slot can legitimately stay empty: its item panicked (quarantined
+    // by the pool) or was never dispatched (run deadline).
+    let run_deadline = config.run_deadline.map(|d| run_start + d);
     let results: Vec<OnceLock<ItemOutcome>> = (0..reps.len()).map(|_| OnceLock::new()).collect();
-    let (pool, parallel_wall) = trace::timed("stage.parallel", || {
-        pokemu_rt::for_each(config.threads, reps.len(), |i| {
+    let (pool_run, parallel_wall) = trace::timed("stage.parallel", || {
+        pool::for_each_budgeted(config.threads, reps.len(), run_deadline, |i| {
             let rep = &reps[i];
             let name = rep.class.to_string();
             let _insn_span = pokemu_rt::span!("pipeline.instruction", insn = name);
             flight::note("pipeline.instruction", || {
                 format!("{name} ({})", hex(&rep.bytes))
             });
-            let (progs, complete, solver_queries) =
-                generate_for_instruction(&name, &rep.bytes, &baseline, config.max_paths_per_insn);
+            // The per-instruction budget starts when the worker picks the
+            // item up; the run deadline caps it so a whole-run timeout is
+            // never stuck behind one slow exploration.
+            let insn_deadline = match (
+                config.insn_deadline.map(|d| Instant::now() + d),
+                run_deadline,
+            ) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let gen = generate_for_instruction(
+                &name,
+                &rep.bytes,
+                &baseline,
+                config.max_paths_per_insn,
+                insn_deadline,
+            );
             let (cases, execute_d) = trace::timed_with(
                 "stage.execute",
                 || vec![("insn", name.clone())],
                 || {
-                    progs
+                    gen.programs
                         .iter()
                         .map(|p| {
                             let case = run_on_all_targets(p, config.lofi_fidelity);
@@ -306,15 +391,25 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             metrics::timer("stage.execute.ns").add(execute_d);
             let slot_was_empty = results[i]
                 .set(ItemOutcome {
-                    complete,
-                    n_paths: progs.len(),
-                    solver_queries,
+                    complete: gen.complete,
+                    n_paths: gen.programs.len(),
+                    solver_queries: gen.solver_queries,
+                    unknown_queries: gen.unknown_queries,
+                    infeasible_paths: gen.infeasible_paths,
                     cases,
                 })
                 .is_ok();
             assert!(slot_was_empty, "pool delivered item {i} twice");
         })
     });
+    out.completed = !pool_run.deadline_hit;
+    out.skipped_instructions = pool_run.skipped;
+    out.quarantined = pool_run.quarantined.clone();
+    if !out.completed {
+        flight::note("pipeline.deadline", || {
+            format!("skipped {} instructions", pool_run.skipped)
+        });
+    }
 
     // Step 5: sequential difference analysis, in item order (instruction
     // classes are sorted by exploration), so counters and clusters are
@@ -322,14 +417,22 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     let (solver_queries, analyze) = trace::timed("stage.analyze", || {
         let mut solver_queries = 0u64;
         for slot in results {
-            let item = slot.into_inner().expect("every item slot filled");
+            // Quarantined or skipped items have no outcome; their absence
+            // is already accounted in `quarantined`/`skipped_instructions`.
+            let Some(item) = slot.into_inner() else {
+                continue;
+            };
             let ItemOutcome {
                 complete,
                 n_paths,
                 solver_queries: queries,
+                unknown_queries,
+                infeasible_paths,
                 cases,
             } = item;
             solver_queries += queries;
+            out.unknown_queries += unknown_queries;
+            out.infeasible_paths += infeasible_paths;
             if complete {
                 out.fully_explored += 1;
             }
@@ -370,7 +473,7 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
         parallel_wall,
         total_wall: run_start.elapsed(),
         solver_queries,
-        workers: pool.workers,
+        workers: pool_run.workers,
     };
 
     // Under POKEMU_TRACE=1, every finished run leaves an openable trace
@@ -398,14 +501,38 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             &delta,
             &coverage::snapshot(),
         );
+        // Run-artifact writes must never panic a finished run: a full disk
+        // at the end of a campaign still leaves the in-memory result and a
+        // metric trail explaining what is missing on disk.
         match manifest.write() {
             Ok(path) => eprintln!("[manifest] wrote {}", path.display()),
-            Err(e) => eprintln!("[manifest] write failed: {e}"),
+            Err(e) => {
+                metrics::counter("manifest.write_failures").inc();
+                eprintln!("[manifest] write failed: {e}");
+            }
         }
         if !out.deviations.is_empty() {
             let path = crate::manifest::run_dir(&run_id).join("flightrec-deviations.jsonl");
             if let Err(e) = flight::dump_to(&path) {
+                metrics::counter("manifest.write_failures").inc();
                 eprintln!("[manifest] flight dump failed: {e}");
+            }
+        }
+        // Each quarantined item carries the flight snapshot captured at
+        // panic time; dump them merged for post-hoc attribution.
+        if !out.quarantined.is_empty() {
+            let mut events: Vec<flight::FlightEvent> = Vec::new();
+            for q in &out.quarantined {
+                events.extend(q.flight.iter().cloned());
+            }
+            events.sort_by_key(|e| e.seq);
+            events.dedup();
+            let path = crate::manifest::run_dir(&run_id).join("flightrec-quarantine.jsonl");
+            if let Err(e) = flight::dump_events_to(&path, &events) {
+                metrics::counter("manifest.write_failures").inc();
+                eprintln!("[manifest] quarantine dump failed: {e}");
+            } else {
+                eprintln!("[manifest] quarantine dump {}", path.display());
             }
         }
     }

@@ -1,0 +1,405 @@
+//! Deterministic fault injection for chaos testing the pipeline.
+//!
+//! A *fault point* is a named site in production code that calls
+//! [`inject`]`("point.name", key)` on every pass. Disarmed (the default),
+//! the call costs one relaxed atomic load. Armed — through the
+//! [`FAULT_ENV`] environment variable or programmatically via [`arm`] — a
+//! matching point fires its configured fault: a panic, artificial latency,
+//! or a forced "degrade" return (`true` from [`inject`], which callers map
+//! to their own soft-failure path, e.g. `SatResult::Unknown`).
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! POKEMU_FAULT=<point>:<kind>:<selector>[;<point>:<kind>:<selector>...]
+//!
+//! kind     := panic | unknown | latency[=<ms>]       (latency default 100 ms)
+//! selector := <n>            fire when the point's key equals n
+//!           | <p>@<seed>     fire with probability p (0.0..=1.0), seeded
+//!           | *              fire on every hit
+//! ```
+//!
+//! Examples: `pool.item:panic:3` panics the worker processing item 3;
+//! `solver.check:unknown:0.05@42` degrades ~5% of solver queries;
+//! `pipeline.insn:latency=50:1` stalls instruction 1 for 50 ms.
+//!
+//! # Determinism
+//!
+//! Every decision is a pure function of `(point name, key, spec)` — never
+//! of arrival order, thread identity, or wall clock — so a chaos run
+//! replays exactly: the same spec hits the same items on 1 or 8 worker
+//! threads. Callers supply a deterministic key (usually the work-item
+//! index); deep call sites that cannot see the item they serve inherit it
+//! from the ambient [`scope`] the pool installs per item, and key as
+//! `u64::MAX` (matching only `*` and probabilistic selectors) when no
+//! scope is installed.
+//!
+//! Injections are observable: each fired fault bumps the `fault.injected`
+//! counter and leaves a [`crate::flight`] event, so quarantine records and
+//! crash dumps name the fault that caused them.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable carrying the fault spec (see module docs).
+pub const FAULT_ENV: &str = "POKEMU_FAULT";
+
+/// Default sleep for `latency` faults without an explicit `=<ms>`.
+pub const DEFAULT_LATENCY: Duration = Duration::from_millis(100);
+
+/// What an armed fault does when its selector matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the point (exercises quarantine / crash handling).
+    Panic,
+    /// Ask the caller to degrade (e.g. return `SatResult::Unknown`).
+    Unknown,
+    /// Sleep for the given duration (exercises deadline handling).
+    Latency(Duration),
+}
+
+/// When a fault fires, as a function of the point's deterministic key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Selector {
+    /// Fire when the key equals this value.
+    Key(u64),
+    /// Fire when `mix64(seed, name, key)` lands under this probability.
+    Prob(f64, u64),
+    /// Fire on every hit.
+    Always,
+}
+
+/// One armed fault: point name, action, and firing rule.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultSpec {
+    point: String,
+    kind: FaultKind,
+    selector: Selector,
+}
+
+const STATE_UNINIT: u8 = 0;
+const STATE_ARMED: u8 = 1;
+const STATE_OFF: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+fn specs() -> &'static Mutex<Vec<FaultSpec>> {
+    static SPECS: OnceLock<Mutex<Vec<FaultSpec>>> = OnceLock::new();
+    SPECS.get_or_init(Mutex::default)
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    match std::env::var(FAULT_ENV) {
+        Ok(spec) if !spec.is_empty() => match parse_spec(&spec) {
+            Ok(parsed) => {
+                let armed = !parsed.is_empty();
+                *specs().lock().unwrap_or_else(|e| e.into_inner()) = parsed;
+                STATE.store(
+                    if armed { STATE_ARMED } else { STATE_OFF },
+                    Ordering::Relaxed,
+                );
+                armed
+            }
+            Err(e) => {
+                // A malformed chaos spec must not take the harness down:
+                // warn, run fault-free.
+                eprintln!("[fault] ignoring bad {FAULT_ENV} spec: {e}");
+                STATE.store(STATE_OFF, Ordering::Relaxed);
+                false
+            }
+        },
+        _ => {
+            STATE.store(STATE_OFF, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Whether any fault is armed (one relaxed load after first use).
+#[inline]
+pub fn armed() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ARMED => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Arms faults from a spec string (same grammar as [`FAULT_ENV`]),
+/// replacing any previously armed set. Returns the number of faults armed.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry; the armed set is
+/// left unchanged on error.
+pub fn arm(spec: &str) -> Result<usize, String> {
+    let parsed = parse_spec(spec)?;
+    let n = parsed.len();
+    *specs().lock().unwrap_or_else(|e| e.into_inner()) = parsed;
+    STATE.store(
+        if n > 0 { STATE_ARMED } else { STATE_OFF },
+        Ordering::Relaxed,
+    );
+    Ok(n)
+}
+
+/// Disarms every fault (the disarmed fast path is one relaxed load).
+pub fn disarm() {
+    specs().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+fn parse_spec(spec: &str) -> Result<Vec<FaultSpec>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split([';', ',']).filter(|s| !s.trim().is_empty()) {
+        let entry = entry.trim();
+        let mut parts = entry.splitn(3, ':');
+        let (point, kind, selector) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(k), Some(s)) if !p.is_empty() => (p, k, s),
+            _ => return Err(format!("`{entry}`: want <point>:<kind>:<selector>")),
+        };
+        let kind = parse_kind(kind).ok_or_else(|| format!("`{entry}`: unknown kind `{kind}`"))?;
+        let selector = parse_selector(selector)
+            .ok_or_else(|| format!("`{entry}`: bad selector `{selector}`"))?;
+        out.push(FaultSpec {
+            point: point.to_owned(),
+            kind,
+            selector,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_kind(s: &str) -> Option<FaultKind> {
+    match s {
+        "panic" => Some(FaultKind::Panic),
+        "unknown" => Some(FaultKind::Unknown),
+        "latency" => Some(FaultKind::Latency(DEFAULT_LATENCY)),
+        _ => {
+            let ms: u64 = s.strip_prefix("latency=")?.parse().ok()?;
+            Some(FaultKind::Latency(Duration::from_millis(ms)))
+        }
+    }
+}
+
+fn parse_selector(s: &str) -> Option<Selector> {
+    if s == "*" || s == "always" {
+        return Some(Selector::Always);
+    }
+    if let Some((p, seed)) = s.split_once('@') {
+        let p: f64 = p.parse().ok()?;
+        let seed: u64 = parse_u64(seed)?;
+        if !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        return Some(Selector::Prob(p, seed));
+    }
+    parse_u64(s).map(Selector::Key)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// FNV-1a over the point name, mixed with the seed and key: the entire
+/// firing decision for probabilistic selectors, thread-invariant by
+/// construction.
+fn prob_fires(p: f64, seed: u64, point: &str, key: u64) -> bool {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in point.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    let x = crate::rng::mix64(seed ^ h ^ key.rotate_left(17));
+    (x as f64 / u64::MAX as f64) < p
+}
+
+thread_local! {
+    static SCOPE: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Restores the previous ambient scope key on drop (see [`scope`]).
+#[derive(Debug)]
+pub struct ScopeGuard {
+    prev: u64,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| s.set(self.prev));
+    }
+}
+
+/// Installs `key` as the calling thread's ambient fault scope until the
+/// guard drops. The pool scopes each work item by its index, so deep call
+/// sites (the solver, the engine) can key their fault points by the item
+/// they are serving without any plumbing.
+pub fn scope(key: u64) -> ScopeGuard {
+    SCOPE.with(|s| ScopeGuard {
+        prev: s.replace(key),
+    })
+}
+
+/// The ambient scope key, if one is installed on this thread.
+pub fn scope_key() -> Option<u64> {
+    SCOPE.with(|s| {
+        let k = s.get();
+        (k != u64::MAX).then_some(k)
+    })
+}
+
+/// The fault point: fires an armed fault matching `(point, key)`.
+///
+/// Returns `true` when the caller should degrade (an `unknown` fault
+/// fired); `panic` faults panic here with a message naming the point, and
+/// `latency` faults sleep, then return `false`. Disarmed, this is one
+/// relaxed atomic load.
+///
+/// # Panics
+///
+/// Panics by design when a `panic`-kind fault matches.
+pub fn inject(point: &'static str, key: u64) -> bool {
+    if !armed() {
+        return false;
+    }
+    let fired = {
+        let specs = specs().lock().unwrap_or_else(|e| e.into_inner());
+        specs
+            .iter()
+            .find(|f| {
+                f.point == point
+                    && match f.selector {
+                        Selector::Key(n) => n == key,
+                        Selector::Prob(p, seed) => prob_fires(p, seed, point, key),
+                        Selector::Always => true,
+                    }
+            })
+            .map(|f| f.kind)
+    };
+    let Some(kind) = fired else {
+        return false;
+    };
+    crate::metrics::counter("fault.injected").inc();
+    crate::flight::note("fault.injected", || format!("{point} key={key} {kind:?}"));
+    match kind {
+        FaultKind::Panic => panic!("fault injected: {point}:panic (key {key})"),
+        FaultKind::Latency(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        FaultKind::Unknown => true,
+    }
+}
+
+/// Serializes in-crate tests that mutate the process-global armed set
+/// (fault tests and pool quarantine tests share it).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The armed set is process-global; tests serialize and always disarm.
+    fn serialize() -> MutexGuard<'static, ()> {
+        test_lock()
+    }
+
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        let _g = serialize();
+        disarm();
+        assert!(!inject("fault.test.none", 0));
+        assert!(!armed());
+    }
+
+    #[test]
+    fn key_selector_matches_exactly_one_key() {
+        let _g = serialize();
+        let _d = Disarm;
+        arm("fault.test.key:unknown:3").unwrap();
+        assert!(!inject("fault.test.key", 2));
+        assert!(inject("fault.test.key", 3));
+        assert!(!inject("fault.test.key", 4));
+        assert!(!inject("fault.test.other", 3), "point name must match");
+    }
+
+    #[test]
+    fn panic_kind_panics_with_point_name() {
+        let _g = serialize();
+        let _d = Disarm;
+        arm("fault.test.panic:panic:7").unwrap();
+        let err = std::panic::catch_unwind(|| inject("fault.test.panic", 7))
+            .expect_err("panic fault must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("fault.test.panic"),
+            "payload names the point: {msg}"
+        );
+    }
+
+    #[test]
+    fn prob_selector_is_deterministic_in_the_key() {
+        let _g = serialize();
+        let _d = Disarm;
+        arm("fault.test.prob:unknown:0.5@42").unwrap();
+        let first: Vec<bool> = (0..64).map(|k| inject("fault.test.prob", k)).collect();
+        let second: Vec<bool> = (0..64).map(|k| inject("fault.test.prob", k)).collect();
+        assert_eq!(first, second, "same key must always decide the same way");
+        assert!(first.iter().any(|&b| b) && first.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn latency_kind_sleeps_and_does_not_degrade() {
+        let _g = serialize();
+        let _d = Disarm;
+        arm("fault.test.lat:latency=20:*").unwrap();
+        let t = std::time::Instant::now();
+        assert!(!inject("fault.test.lat", 0));
+        assert!(t.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        let _g = serialize();
+        let _d = Disarm;
+        assert!(arm("nocolons").is_err());
+        assert!(arm("p:weird:3").is_err());
+        assert!(arm("p:unknown:2.0@1").is_err(), "probability > 1 rejected");
+        assert_eq!(arm("a:panic:1;b:unknown:*").unwrap(), 2);
+    }
+
+    #[test]
+    fn scope_key_nests_and_restores() {
+        let _g = serialize();
+        assert_eq!(scope_key(), None);
+        {
+            let _outer = scope(5);
+            assert_eq!(scope_key(), Some(5));
+            {
+                let _inner = scope(9);
+                assert_eq!(scope_key(), Some(9));
+            }
+            assert_eq!(scope_key(), Some(5));
+        }
+        assert_eq!(scope_key(), None);
+    }
+}

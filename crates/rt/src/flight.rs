@@ -187,12 +187,22 @@ fn event_json(ev: &FlightEvent) -> String {
 ///
 /// Propagates filesystem errors.
 pub fn dump_to(path: &Path) -> std::io::Result<()> {
+    dump_events_to(path, &snapshot())
+}
+
+/// Writes an explicit event list (e.g. a quarantine record's captured
+/// snapshot) to `path` in the same JSONL format as [`dump_to`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn dump_events_to(path: &Path, events: &[FlightEvent]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for ev in snapshot() {
-        writeln!(f, "{}", event_json(&ev))?;
+    for ev in events {
+        writeln!(f, "{}", event_json(ev))?;
     }
     f.flush()
 }

@@ -15,8 +15,10 @@
 //! external equivalent in the old dependency set: [`coverage`] (fixed-size
 //! atomic bitmaps recording opcode / path / µop / exception-class coverage,
 //! snapshot-diffable and JSONL-exportable for the run manifest and the CI
-//! coverage gate) and [`flight`] (a per-thread ring buffer of recent events,
-//! dumped post-hoc on panic or cross-validation deviation).
+//! coverage gate), [`flight`] (a per-thread ring buffer of recent events,
+//! dumped post-hoc on panic or cross-validation deviation), and [`fault`]
+//! (named deterministic fault-injection points, armed via `POKEMU_FAULT`,
+//! that chaos-test the quarantine and budget layers).
 //!
 //! Determinism is the point, not just offline builds: the same seeds produce
 //! the same exploration choices, the same random-baseline tests (E5), and
@@ -27,6 +29,7 @@
 
 pub mod bench;
 pub mod coverage;
+pub mod fault;
 pub mod flight;
 pub mod json;
 pub mod metrics;
@@ -36,9 +39,10 @@ pub mod rng;
 pub mod trace;
 
 pub use coverage::{CoverageMap, CoverageSnapshot, MapSnapshot};
+pub use fault::FaultKind;
 pub use flight::FlightEvent;
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Timer};
-pub use pool::{for_each, PoolRun, WorkerStats};
+pub use pool::{for_each, PoolRun, QuarantineRecord, WorkerStats};
 pub use prop::Gen;
 pub use rng::{mix64, Rng, SplitMix64};
 pub use trace::{SpanEvent, SpanGuard, TracePaths};

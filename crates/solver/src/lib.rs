@@ -46,6 +46,6 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
-pub use sat::SatResult;
-pub use solver::{BvSolver, Model, SolverStats};
+pub use sat::{SatResult, SolveBudget};
+pub use solver::{BvSolver, Model, SolverStats, SOLVER_DEADLINE_ENV, SOLVER_FUEL_ENV};
 pub use term::{mask, sext64, Op, TermId, TermPool, VarId, Width, MAX_WIDTH};

@@ -77,6 +77,29 @@ pub enum SatResult {
     Sat,
     /// Unsatisfiable under the given assumptions (or globally, if none).
     Unsat,
+    /// The query was abandoned before an answer: its [`SolveBudget`] ran
+    /// out (conflict fuel or wall deadline) or a fault was injected.
+    /// Callers must treat this as "don't know", never as either verdict —
+    /// the symbolic engine prunes the branch and counts it.
+    Unknown,
+}
+
+/// Per-query resource budget for [`Sat::solve_budgeted`]: exceeding either
+/// limit yields [`SatResult::Unknown`] instead of running unbounded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveBudget {
+    /// Wall-clock deadline; checked before the search starts and at every
+    /// conflict, so an over-deadline query stops at the next conflict.
+    pub deadline: Option<std::time::Instant>,
+    /// Maximum conflicts for this query ("fuel").
+    pub max_conflicts: Option<u64>,
+}
+
+impl SolveBudget {
+    /// Whether any limit is actually set.
+    pub fn is_bounded(&self) -> bool {
+        self.deadline.is_some() || self.max_conflicts.is_some()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -558,6 +581,20 @@ impl Sat {
     /// queries on growing path conditions cheap. After [`SatResult::Sat`],
     /// [`Sat::model_value`] reads the satisfying assignment.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_budgeted(assumptions, None)
+    }
+
+    /// [`Sat::solve`] with an optional per-query [`SolveBudget`].
+    ///
+    /// When the budget's conflict fuel or wall deadline is exhausted the
+    /// search backtracks to level 0 and returns [`SatResult::Unknown`]. The
+    /// solver stays usable — learned clauses are kept and later (possibly
+    /// better-funded) queries run normally.
+    pub fn solve_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        budget: Option<&SolveBudget>,
+    ) -> SatResult {
         self.stats.solves += 1;
         self.backtrack(0);
         if !self.ok {
@@ -567,16 +604,37 @@ impl Sat {
             self.ok = false;
             return SatResult::Unsat;
         }
+        // An already-expired deadline gives up before searching, so a
+        // latency fault upstream degrades even trivially easy queries.
+        if let Some(b) = budget {
+            if b.max_conflicts == Some(0)
+                || b.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                return SatResult::Unknown;
+            }
+        }
+        let mut conflicts_this_solve = 0u64;
         let mut conflicts_this_restart = 0u64;
         let mut restart_no = 0u64;
         let mut restart_budget = 100 * Self::luby(restart_no);
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                conflicts_this_solve += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
+                    // A root-level conflict is a definite Unsat; report it
+                    // even when the budget ran out on this very conflict.
                     self.ok = false;
                     return SatResult::Unsat;
+                }
+                if let Some(b) = budget {
+                    if b.max_conflicts.is_some_and(|m| conflicts_this_solve > m)
+                        || b.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+                    {
+                        self.backtrack(0);
+                        return SatResult::Unknown;
+                    }
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.backtrack(bt);
@@ -694,6 +752,49 @@ mod tests {
             }
         }
         assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn exhausted_fuel_returns_unknown_and_solver_stays_usable() {
+        // Pigeonhole 4-into-3 needs plenty of conflicts; zero fuel must give
+        // up as Unknown without poisoning the solver for later queries.
+        let mut s = Sat::new();
+        let mut p = [[SatVar(0); 3]; 4];
+        for row in &mut p {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1]), Lit::pos(row[2])]);
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        let starved = SolveBudget {
+            deadline: None,
+            max_conflicts: Some(0),
+        };
+        assert_eq!(s.solve_budgeted(&[], Some(&starved)), SatResult::Unknown);
+        // Unbudgeted retry still reaches the definite answer.
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_on_easy_queries() {
+        let mut s = Sat::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        let expired = SolveBudget {
+            deadline: Some(std::time::Instant::now()),
+            max_conflicts: None,
+        };
+        assert_eq!(s.solve_budgeted(&[], Some(&expired)), SatResult::Unknown);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
     }
 
     #[test]

@@ -7,13 +7,45 @@
 //! incremental because successive queries share a growing prefix.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
-use pokemu_rt::metrics;
+use pokemu_rt::{fault, flight, metrics};
 
 use crate::blast::Blaster;
-use crate::sat::{Lit, SatResult, SatStats};
+use crate::sat::{Lit, SatResult, SatStats, SolveBudget};
 use crate::term::{TermId, TermPool, VarId};
+
+/// Env var: per-query wall deadline in milliseconds for every
+/// [`BvSolver::check`] in the process (`POKEMU_SOLVER_DEADLINE_MS=50`).
+pub const SOLVER_DEADLINE_ENV: &str = "POKEMU_SOLVER_DEADLINE_MS";
+
+/// Env var: per-query conflict fuel for every [`BvSolver::check`] in the
+/// process (`POKEMU_SOLVER_FUEL=10000`).
+pub const SOLVER_FUEL_ENV: &str = "POKEMU_SOLVER_FUEL";
+
+/// Process-wide default budget, parsed from the environment once.
+fn env_budget() -> &'static EnvBudget {
+    static ENV: OnceLock<EnvBudget> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let ms = std::env::var(SOLVER_DEADLINE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        let fuel = std::env::var(SOLVER_FUEL_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        EnvBudget {
+            deadline: ms.map(Duration::from_millis),
+            max_conflicts: fuel,
+        }
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EnvBudget {
+    deadline: Option<Duration>,
+    max_conflicts: Option<u64>,
+}
 
 /// A satisfying assignment for the bit-vector variables of a formula.
 ///
@@ -82,6 +114,8 @@ pub struct SolverStats {
     pub sat: u64,
     /// Checks that returned UNSAT.
     pub unsat: u64,
+    /// Checks abandoned as UNKNOWN (budget exhausted or fault injected).
+    pub unknown: u64,
     /// Statistics of the underlying SAT core.
     pub sat_core: SatStats,
 }
@@ -107,6 +141,10 @@ pub struct BvSolver {
     blaster: Blaster,
     stats: SolverStats,
     metrics: SolverMetrics,
+    /// Per-query budget; `None` entries fall back to the process-wide env
+    /// budget (`POKEMU_SOLVER_DEADLINE_MS` / `POKEMU_SOLVER_FUEL`).
+    deadline: Option<Duration>,
+    max_conflicts: Option<u64>,
 }
 
 /// Handles into the process-wide metrics registry, resolved once per solver
@@ -117,6 +155,7 @@ struct SolverMetrics {
     queries: metrics::Counter,
     sat: metrics::Counter,
     unsat: metrics::Counter,
+    unknown: metrics::Counter,
     query_ns: metrics::Histogram,
 }
 
@@ -126,6 +165,7 @@ impl SolverMetrics {
             queries: metrics::counter("solver.queries"),
             sat: metrics::counter("solver.sat"),
             unsat: metrics::counter("solver.unsat"),
+            unknown: metrics::counter("solver.unknown"),
             query_ns: metrics::histogram("solver.query_ns"),
         }
     }
@@ -137,6 +177,8 @@ impl Default for BvSolver {
             blaster: Blaster::default(),
             stats: SolverStats::default(),
             metrics: SolverMetrics::new(),
+            deadline: None,
+            max_conflicts: None,
         }
     }
 }
@@ -147,10 +189,33 @@ impl BvSolver {
         Self::default()
     }
 
+    /// Sets a per-query wall deadline (overrides `POKEMU_SOLVER_DEADLINE_MS`).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Sets a per-query conflict fuel limit (overrides `POKEMU_SOLVER_FUEL`).
+    pub fn set_max_conflicts(&mut self, fuel: Option<u64>) {
+        self.max_conflicts = fuel;
+    }
+
+    /// The effective budget for the next query, resolving programmatic
+    /// settings first and the process environment second.
+    fn effective_budget(&self) -> SolveBudget {
+        let env = env_budget();
+        SolveBudget {
+            deadline: self.deadline.or(env.deadline).map(|d| Instant::now() + d),
+            max_conflicts: self.max_conflicts.or(env.max_conflicts),
+        }
+    }
+
     /// Checks satisfiability of the conjunction of `assumptions`.
     ///
     /// Every assumption must be a width-1 term. Learned clauses persist
-    /// across calls; assumptions do not.
+    /// across calls; assumptions do not. Under a budget (programmatic or
+    /// `POKEMU_SOLVER_DEADLINE_MS` / `POKEMU_SOLVER_FUEL`) a too-expensive
+    /// query returns [`SatResult::Unknown`] instead of running unbounded;
+    /// the armed `solver.check` fault point can force the same outcome.
     ///
     /// # Panics
     ///
@@ -158,6 +223,24 @@ impl BvSolver {
     pub fn check(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
         self.stats.queries += 1;
         self.metrics.queries.inc();
+        // The deadline starts ticking before fault injection so an armed
+        // latency fault consumes the real budget.
+        let budget = self.effective_budget();
+        if fault::armed() {
+            // Inside a pool item the ambient scope key attributes the fault
+            // to that item, so `solver.check:unknown:<n>` starves exactly
+            // work item n. Unscoped queries (e.g. the main-thread
+            // instruction-space sweep) key as u64::MAX, reachable only by
+            // `*` and probabilistic selectors — a numeric key must never
+            // leak onto work it did not name.
+            let key = fault::scope_key().unwrap_or(u64::MAX);
+            if fault::inject("solver.check", key) {
+                self.stats.unknown += 1;
+                self.metrics.unknown.inc();
+                flight::note("solver.unknown", || format!("fault key={key}"));
+                return SatResult::Unknown;
+            }
+        }
         // Latency is only sampled while tracing is on: the extra clock reads
         // are pure overhead otherwise.
         let t = pokemu_rt::trace::enabled().then(Instant::now);
@@ -165,7 +248,8 @@ impl BvSolver {
             .iter()
             .map(|&t| self.blaster.blast_bool(pool, t))
             .collect();
-        let r = self.blaster.sat().solve(&lits);
+        let budget_ref = budget.is_bounded().then_some(&budget);
+        let r = self.blaster.sat().solve_budgeted(&lits, budget_ref);
         if let Some(t) = t {
             self.metrics.query_ns.record_duration(t.elapsed());
         }
@@ -178,6 +262,11 @@ impl BvSolver {
                 self.stats.unsat += 1;
                 self.metrics.unsat.inc();
             }
+            SatResult::Unknown => {
+                self.stats.unknown += 1;
+                self.metrics.unknown.inc();
+                flight::note("solver.unknown", || "budget exhausted".to_string());
+            }
         }
         self.stats.sat_core = self.blaster.sat_ref().stats();
         r
@@ -186,7 +275,7 @@ impl BvSolver {
     /// Like [`BvSolver::check`], returning a [`Model`] on satisfiability.
     pub fn check_with_model(&mut self, pool: &TermPool, assumptions: &[TermId]) -> Option<Model> {
         match self.check(pool, assumptions) {
-            SatResult::Unsat => None,
+            SatResult::Unsat | SatResult::Unknown => None,
             SatResult::Sat => {
                 let mut model = Model::new();
                 for i in 0..pool.num_vars() {
@@ -203,5 +292,33 @@ impl BvSolver {
     /// Cumulative statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starved_query_degrades_to_unknown_then_recovers() {
+        let mut pool = TermPool::new();
+        let mut s = BvSolver::new();
+        // x * x + x == 0x6FC2 over 16 bits: needs genuine search.
+        let x = pool.var(16, "x");
+        let sq = pool.mul(x, x);
+        let sum = pool.add(sq, x);
+        let k = pool.constant(16, 0x6FC2);
+        let cond = pool.eq(sum, k);
+
+        s.set_max_conflicts(Some(0));
+        assert_eq!(s.check(&pool, &[cond]), SatResult::Unknown);
+        assert_eq!(s.stats().unknown, 1);
+        assert!(s.check_with_model(&pool, &[cond]).is_none());
+
+        // Lifting the budget lets the same solver answer for real.
+        s.set_max_conflicts(None);
+        let r = s.check(&pool, &[cond]);
+        assert_ne!(r, SatResult::Unknown);
+        assert_eq!(s.stats().unknown, 2);
     }
 }

@@ -34,6 +34,10 @@ pub struct ExploreConfig {
     pub max_branches_per_path: usize,
     /// Seed for the random direction choice at fresh branch sites.
     pub seed: u64,
+    /// Wall-clock deadline for the whole exploration; when it passes, the
+    /// run stops starting new paths, keeps everything gathered so far, and
+    /// reports `complete = false` (graceful degradation, never a panic).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExploreConfig {
@@ -42,6 +46,7 @@ impl Default for ExploreConfig {
             max_paths: 8192,
             max_branches_per_path: 4096,
             seed: 0x9e3779b97f4a7c15,
+            deadline: None,
         }
     }
 }
@@ -55,10 +60,19 @@ pub struct ExploreStats {
     pub dead_paths: usize,
     /// Paths cut by the per-path branch budget.
     pub truncated_paths: usize,
+    /// Paths whose condition turned out unsatisfiable at the end of a
+    /// replay (previously a hard panic; now counted and skipped).
+    pub infeasible_paths: usize,
+    /// Explorations cut short by [`ExploreConfig::deadline`].
+    pub deadline_trips: usize,
     /// Total symbolic branches taken.
     pub branches: u64,
     /// Decision-procedure queries issued (including model extraction).
     pub solver_queries: u64,
+    /// Solver queries abandoned as Unknown (budget or fault); every one
+    /// marks the exploration incomplete because a feasible branch may have
+    /// been pruned.
+    pub unknown: u64,
 }
 
 /// One fully explored execution path.
@@ -148,6 +162,9 @@ struct EngineMetrics {
     pruned_branches: metrics::Counter,
     summary_hits: metrics::Counter,
     pick_cache_hits: metrics::Counter,
+    unknown_branches: metrics::Counter,
+    infeasible_paths: metrics::Counter,
+    deadline_trips: metrics::Counter,
     /// Path-id coverage bitmap (`coverage.path`): one bit per explored
     /// path-decision hash, modulo the map size.
     path_cov: coverage::CoverageMap,
@@ -165,6 +182,9 @@ impl EngineMetrics {
             pruned_branches: metrics::counter("symx.pruned_branches"),
             summary_hits: metrics::counter("symx.summary_hits"),
             pick_cache_hits: metrics::counter("symx.pick_cache_hits"),
+            unknown_branches: metrics::counter("symx.unknown_branches"),
+            infeasible_paths: metrics::counter("symx.infeasible_paths"),
+            deadline_trips: metrics::counter("symx.deadline_trips"),
             path_cov: coverage::map("coverage.path", PATH_COVERAGE_BITS),
         }
     }
@@ -229,8 +249,15 @@ impl Executor {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> ExploreStats {
         let mut s = self.stats;
-        s.solver_queries = self.solver.stats().queries;
+        let solver = self.solver.stats();
+        s.solver_queries = solver.queries;
+        s.unknown = solver.unknown;
         s
+    }
+
+    /// Mutable access to the underlying solver (budget configuration).
+    pub fn solver_mut(&mut self) -> &mut BvSolver {
+        &mut self.solver
     }
 
     /// Registers a pre-computed [`Summary`] under a call-site key; the
@@ -288,7 +315,21 @@ impl Executor {
     fn check_feasible(&mut self, extra: TermId) -> bool {
         let mut assumptions = self.path.clone();
         assumptions.push(extra);
-        self.solver.check(&self.pool, &assumptions) == SatResult::Sat
+        match self.solver.check(&self.pool, &assumptions) {
+            SatResult::Sat => true,
+            SatResult::Unsat => false,
+            SatResult::Unknown => {
+                // Don't know ≠ infeasible, but the safe degradation is the
+                // same: prune the branch. The solver's unknown count marks
+                // the exploration incomplete so nobody mistakes the pruned
+                // tree for exhaustive coverage.
+                self.metrics.unknown_branches.inc();
+                pokemu_rt::flight::note("symx.unknown_branch", || {
+                    format!("pc_len={}", self.path.len())
+                });
+                false
+            }
+        }
     }
 
     /// Explores every feasible path of `f`, re-running it once per path.
@@ -307,9 +348,25 @@ impl Executor {
         self.pick_cache.clear();
         let mut paths = Vec::new();
         let mut truncated_any = false;
+        let mut deadline_tripped = false;
+        let unknown_before = self.solver.stats().unknown;
         let mut iterations = 0usize;
         let iteration_cap = self.config.max_paths.saturating_mul(4).saturating_add(128);
         while !self.tree.fully_explored() && paths.len() < self.config.max_paths {
+            if self
+                .config
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                // Out of wall time: keep what we have, flag incompleteness.
+                deadline_tripped = true;
+                self.stats.deadline_trips += 1;
+                self.metrics.deadline_trips.inc();
+                pokemu_rt::flight::note("symx.deadline", || {
+                    format!("paths_so_far={}", paths.len())
+                });
+                break;
+            }
             iterations += 1;
             if iterations > iteration_cap {
                 truncated_any = true;
@@ -329,10 +386,19 @@ impl Executor {
                 continue;
             }
             self.tree.finish_at(self.cur);
-            let model = self
-                .solver
-                .check_with_model(&self.pool, &self.path)
-                .expect("path condition invariantly satisfiable");
+            let Some(model) = self.solver.check_with_model(&self.pool, &self.path) else {
+                // The replayed path condition is unsatisfiable (or the query
+                // degraded to Unknown). Historically a hard panic; one bad
+                // path summary must not sink the exploration — the node is
+                // already finished, so count it and move to the next path.
+                self.stats.infeasible_paths += 1;
+                self.metrics.infeasible_paths.inc();
+                pokemu_rt::flight::note("symx.infeasible_path", || {
+                    format!("pc_len={} iter={iterations}", self.path.len())
+                });
+                truncated_any = true;
+                continue;
+            };
             self.stats.paths += 1;
             self.metrics.paths.inc();
             let path_id = self.path_hash;
@@ -345,9 +411,16 @@ impl Executor {
             });
         }
         let hit_cap = paths.len() >= self.config.max_paths && !self.tree.fully_explored();
+        // Any Unknown verdict during this exploration may have pruned a
+        // genuinely feasible branch: the tree looks explored but is not.
+        let degraded = self.solver.stats().unknown > unknown_before;
         self.exploring = false;
         Exploration {
-            complete: self.tree.fully_explored() && !truncated_any && !hit_cap,
+            complete: self.tree.fully_explored()
+                && !truncated_any
+                && !hit_cap
+                && !deadline_tripped
+                && !degraded,
             paths,
             stats: self.stats(),
         }
@@ -363,8 +436,22 @@ impl Executor {
     pub fn summarize(
         &mut self,
         inputs: &[(Width, &str)],
-        mut f: impl FnMut(&mut Executor, &[TermId]) -> Vec<TermId>,
+        f: impl FnMut(&mut Executor, &[TermId]) -> Vec<TermId>,
     ) -> Summary {
+        self.try_summarize(inputs, f)
+            .expect("summary exploration must be exhaustive")
+    }
+
+    /// [`Executor::summarize`] that degrades instead of panicking: returns
+    /// `None` when the sub-exploration came back incomplete (solver budget
+    /// exhausted, deadline tripped, path cap hit). A partial summary would
+    /// silently drop machine behaviours, so no summary is the safe answer —
+    /// callers fall back to executing the real code.
+    pub fn try_summarize(
+        &mut self,
+        inputs: &[(Width, &str)],
+        mut f: impl FnMut(&mut Executor, &[TermId]) -> Vec<TermId>,
+    ) -> Option<Summary> {
         // Run on a scratch tree so the caller's exploration is untouched,
         // with a generous path budget independent of the caller's cap: the
         // whole point of a summary is to fold a multi-path computation, so
@@ -390,8 +477,18 @@ impl Executor {
             })
             .collect();
         let result = self.explore(|e| f(e, &formals));
-        assert!(result.complete, "summary exploration must be exhaustive");
-        let summary = Summary::fold(&mut self.pool, formal_ids, &result.paths);
+        let summary = result
+            .complete
+            .then(|| Summary::fold(&mut self.pool, formal_ids, &result.paths));
+        if summary.is_none() {
+            pokemu_rt::flight::note("symx.summary_incomplete", || {
+                format!(
+                    "paths={} unknown={}",
+                    result.paths.len(),
+                    result.stats.unknown
+                )
+            });
+        }
 
         self.tree = saved_tree;
         self.cur = saved_cur;
@@ -747,6 +844,52 @@ mod tests {
         let mut counts: Vec<u32> = r.paths.iter().map(|p| p.value).collect();
         counts.sort_unstable();
         assert_eq!(counts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn starved_solver_degrades_exploration_instead_of_panicking() {
+        let mut exec = Executor::new();
+        exec.solver_mut().set_max_conflicts(Some(0));
+        let r = exec.explore(|e| {
+            let x = e.fresh_input(8, "x");
+            let k = e.constant(8, 42);
+            let c = e.eq(x, k);
+            e.branch(c, "x==42")
+        });
+        // Every feasibility query came back Unknown, so both directions were
+        // pruned: no paths, but crucially no panic and an honest verdict.
+        assert!(!r.complete);
+        assert!(r.stats.unknown > 0);
+        assert_eq!(r.paths.len(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_exploration_cleanly() {
+        let mut exec = Executor::with_config(ExploreConfig {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        });
+        let r = exec.explore(|e| {
+            let x = e.fresh_input(8, "x");
+            e.concretize(x, "wide")
+        });
+        assert!(!r.complete);
+        assert_eq!(r.paths.len(), 0);
+        assert_eq!(r.stats.deadline_trips, 1);
+    }
+
+    #[test]
+    fn try_summarize_returns_none_when_solver_is_starved() {
+        let mut exec = Executor::new();
+        exec.solver_mut().set_max_conflicts(Some(0));
+        let s = exec.try_summarize(&[(8, "a")], |e, f| {
+            let z = e.constant(8, 0);
+            let c = e.eq(f[0], z);
+            let one = e.constant(8, 1);
+            let two = e.constant(8, 2);
+            vec![if e.branch(c, "a==0") { one } else { two }]
+        });
+        assert!(s.is_none());
     }
 
     #[test]

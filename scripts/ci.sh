@@ -49,4 +49,42 @@ if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
 fi
 echo "coverage gate correctly rejected the coverage-blind run"
 
+echo "== chaos smoke (fault injection end to end)"
+# Arm a deterministic worker panic on work item 1: the campaign must still
+# finish (exit 0), attribute exactly one quarantine record in the manifest,
+# and keep its "completed" flag — a finished run with failures attributed
+# is a completed run.
+POKEMU_FAULT=pool.item:panic:1 POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=chaos \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+grep -q '"completed":true' target/run/chaos/manifest.json \
+    || { echo "ERROR: chaos run did not complete" >&2; exit 1; }
+grep -q '"quarantined":1' target/run/chaos/manifest.json \
+    || { echo "ERROR: chaos run did not quarantine the faulted item" >&2; exit 1; }
+echo "chaos run completed with the faulted item quarantined"
+
+echo "== run-deadline smoke (graceful partial run)"
+# A 1 ms whole-run deadline: the pipeline must stop dispatching, exit
+# cleanly, and write a partial manifest that says so.
+POKEMU_RUN_DEADLINE_MS=1 POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=deadline \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+grep -q '"completed":false' target/run/deadline/manifest.json \
+    || { echo "ERROR: deadline-cut run claims completion" >&2; exit 1; }
+echo "deadline-cut run wrote an honest partial manifest"
+
+echo "== robustness gate self-test (a quarantine regression must fail the gate)"
+# The chaos manifest above carries one quarantine; the committed baseline
+# carries none, so the diff gate must reject it — and for the quarantine
+# regression specifically, not some unrelated violation.
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    diff --baseline tests/baselines/smoke-manifest.json \
+    --manifest target/run/chaos/manifest.json --check \
+    >target/run/chaos/diff.out 2>&1; then
+    echo "ERROR: diff gate passed a run with a quarantine regression" >&2
+    exit 1
+fi
+grep -q 'robustness.quarantined grew' target/run/chaos/diff.out \
+    || { echo "ERROR: gate failed for the wrong reason:" >&2; \
+         cat target/run/chaos/diff.out >&2; exit 1; }
+echo "diff gate correctly rejected the quarantined run"
+
 echo "CI OK"
