@@ -4,6 +4,7 @@
 //! pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]
 //! pokemu-report coverage [--manifest PATH]
 //! pokemu-report diff --baseline PATH [--manifest PATH] [--check]
+//! pokemu-report conformance [--roms DIR] [--threads N] [--write]
 //! ```
 //!
 //! The default (no subcommand) mode reads the Chrome `trace_event` JSON and
@@ -621,6 +622,121 @@ fn cmd_diff(args: &mut std::env::Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pokemu-report conformance`: run the chained-corpus conformance gate.
+///
+/// Builds the committed corpus, runs every program on all three targets,
+/// and compares the results against the baselines in `tests/roms/`
+/// (byte-identical documents). With `--write`, regenerates the baselines
+/// instead of gating. Exit codes follow the other modes: 0 conformant,
+/// 1 drift (the violating program names are printed), 2 missing input.
+fn cmd_conformance(args: &mut std::env::Args) -> ExitCode {
+    use pokemu::harness::conformance;
+
+    let mut roms: Option<PathBuf> = None;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut write = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--roms" => roms = args.next().map(PathBuf::from),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
+            "--write" => write = true,
+            "--help" | "-h" => {
+                println!("usage: pokemu-report conformance [--roms DIR] [--threads N] [--write]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        }
+    }
+    let roms = match roms.or_else(conformance::find_roms_dir) {
+        Some(d) => d,
+        None if write => PathBuf::from("tests/roms"),
+        None => {
+            eprintln!(
+                "[pokemu-report] no tests/roms/ directory found (pass --roms DIR, \
+                 or --write to create one)"
+            );
+            return ExitCode::from(EXIT_MISSING_INPUT);
+        }
+    };
+
+    let corpus = conformance::build_corpus();
+    let run = conformance::run_conformance(&corpus, threads);
+    println!(
+        "== conformance: {} program(s), {} with deviations, {} quarantined",
+        run.results.len(),
+        run.results
+            .iter()
+            .filter(|r| !r.deviations.is_empty())
+            .count(),
+        run.quarantined.len(),
+    );
+    if !run.quarantined.is_empty() {
+        // A quarantined program has no result to compare; its absence must
+        // not silently pass (or rewrite) the gate.
+        for q in &run.quarantined {
+            let name = q
+                .item
+                .and_then(|i| corpus.get(i))
+                .map_or("<unknown>", |p| p.name.as_str());
+            eprintln!(
+                "[pokemu-report] conformance quarantined: {name} ({})",
+                q.message
+            );
+        }
+        eprintln!("[pokemu-report] conformance FAILED: quarantined program(s)");
+        return ExitCode::from(EXIT_VIOLATION);
+    }
+
+    if write {
+        return match conformance::write_baselines(&roms, &run.results) {
+            Ok(paths) => {
+                println!(
+                    "[pokemu-report] wrote {} baseline(s) under {}",
+                    paths.len(),
+                    roms.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("[pokemu-report] cannot write {}: {e}", roms.display());
+                ExitCode::from(EXIT_MISSING_INPUT)
+            }
+        };
+    }
+
+    let violations = match conformance::check_conformance(&roms, &run.results) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[pokemu-report] {e}");
+            return ExitCode::from(EXIT_MISSING_INPUT);
+        }
+    };
+    if violations.is_empty() {
+        println!(
+            "[pokemu-report] conformance OK: {} program(s) match {}",
+            run.results.len(),
+            roms.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!(
+            "[pokemu-report] conformance violation: {}: {}",
+            v.program, v.reason
+        );
+    }
+    eprintln!(
+        "[pokemu-report] conformance FAILED: {} violating program(s)",
+        violations.len()
+    );
+    ExitCode::from(EXIT_VIOLATION)
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -628,6 +744,7 @@ fn main() -> ExitCode {
     match first.as_deref() {
         Some("coverage") => return cmd_coverage(&mut args),
         Some("diff") => return cmd_diff(&mut args),
+        Some("conformance") => return cmd_conformance(&mut args),
         _ => {}
     }
 
@@ -651,7 +768,8 @@ fn main() -> ExitCode {
                 println!(
                     "usage: pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]\n\
                      \x20      pokemu-report coverage [--manifest PATH]\n\
-                     \x20      pokemu-report diff --baseline PATH [--manifest PATH] [--check]"
+                     \x20      pokemu-report diff --baseline PATH [--manifest PATH] [--check]\n\
+                     \x20      pokemu-report conformance [--roms DIR] [--threads N] [--write]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -21,7 +21,8 @@ pub mod symstate;
 
 pub use insn_space::{explore_instruction_space, ClassRep, InsnSpace, InsnSpaceConfig};
 pub use state_space::{
-    explore_state_space, to_test_programs, PathEnd, PathTest, StateSpace, StateSpaceConfig,
+    explore_state_space, to_chain_segments, to_test_programs, PathEnd, PathTest, StateSpace,
+    StateSpaceConfig,
 };
 
 #[cfg(test)]

@@ -7,12 +7,16 @@
 //! exact list of initializer gadgets needed to retrigger that path at run
 //! time.
 
+use std::collections::HashMap;
+
 use pokemu_isa::interp::{self, Quirks, StepOutcome};
 use pokemu_isa::snapshot::Snapshot;
+use pokemu_isa::state::{Gpr, Machine, Seg};
 use pokemu_isa::translate::{descriptor_checks, DESC_SUMMARY_KEY};
 use pokemu_rt::metrics;
+use pokemu_solver::TermId;
 use pokemu_symx::{minimize, Dom, Executor, ExploreConfig, MinimizeStats};
-use pokemu_testgen::{layout, TestProgram, TestState};
+use pokemu_testgen::{layout, ChainSegment, TestProgram, TestState};
 
 /// Hex rendering of instruction bytes for span attributes and reports.
 pub(crate) fn insn_hex(insn: &[u8]) -> String {
@@ -48,6 +52,12 @@ pub struct PathTest {
     /// [`pokemu_symx::PathOutcome::path_id`]); carried through to test
     /// programs so deviations can name the exact explored path.
     pub path_id: u64,
+    /// Names of the symbolic state components this path's instruction
+    /// wrote (`"eax"`, `"eflags"`, `"sel_ds"`, `"mem"`, ...), detected by
+    /// comparing the machine's term ids before and after symbolic
+    /// execution. The program chainer uses this final-state export to know
+    /// which constraints of the *next* path must be re-established.
+    pub clobbers: Vec<String>,
     /// Minimization statistics (E8).
     pub minimize: MinimizeStats,
 }
@@ -97,6 +107,93 @@ impl Default for StateSpaceConfig {
     }
 }
 
+/// Term-id snapshot of the symbolic machine taken between decode and
+/// execution. Because the executor interns terms structurally, a component
+/// whose term id changed was written by the instruction (possibly with an
+/// equal concrete value — the export is deliberately conservative: a false
+/// "clobbered" only costs the chainer a redundant re-establishing gadget).
+struct MachineProbe {
+    gpr: [TermId; 8],
+    eflags: TermId,
+    segs: [(TermId, TermId, TermId, TermId); 6],
+    cr0: TermId,
+    cr3_flags: TermId,
+    cr4: TermId,
+    gdtr_limit: TermId,
+    idtr_limit: TermId,
+    msrs: [TermId; 3],
+    mem: HashMap<u32, TermId>,
+}
+
+impl MachineProbe {
+    fn of(m: &Machine<TermId>) -> MachineProbe {
+        MachineProbe {
+            gpr: m.gpr,
+            eflags: m.eflags,
+            segs: std::array::from_fn(|i| {
+                let s = &m.segs[i];
+                (s.selector, s.cache.base, s.cache.limit, s.cache.attrs)
+            }),
+            cr0: m.cr0,
+            cr3_flags: m.cr3_flags,
+            cr4: m.cr4,
+            gdtr_limit: m.gdtr.limit,
+            idtr_limit: m.idtr.limit,
+            msrs: [m.msrs.sysenter_cs, m.msrs.sysenter_esp, m.msrs.sysenter_eip],
+            mem: m.mem.iter_initialized().collect(),
+        }
+    }
+
+    /// The components whose term ids the execution changed, under the same
+    /// names `symstate` gives the symbolic inputs. Memory is reported as
+    /// one collective `"mem"` entry (the chainer accumulates memory rather
+    /// than restoring individual bytes). The order is fixed, so the export
+    /// is deterministic.
+    fn clobbers_of(&self, m: &Machine<TermId>) -> Vec<String> {
+        let mut out = Vec::new();
+        for r in Gpr::ALL {
+            if m.gpr[r as usize] != self.gpr[r as usize] {
+                out.push(r.name().to_owned());
+            }
+        }
+        if m.eflags != self.eflags {
+            out.push("eflags".to_owned());
+        }
+        for seg in Seg::ALL {
+            let s = &m.segs[seg as usize];
+            if (s.selector, s.cache.base, s.cache.limit, s.cache.attrs) != self.segs[seg as usize] {
+                out.push(format!("sel_{}", seg.name()));
+            }
+        }
+        for (id, before, name) in [
+            (m.cr0, self.cr0, "cr0"),
+            (m.cr3_flags, self.cr3_flags, "cr3_flags"),
+            (m.cr4, self.cr4, "cr4"),
+            (m.gdtr.limit, self.gdtr_limit, "gdtr_limit"),
+            (m.idtr.limit, self.idtr_limit, "idtr_limit"),
+            (m.msrs.sysenter_cs, self.msrs[0], "msr_sysenter_cs"),
+            (m.msrs.sysenter_esp, self.msrs[1], "msr_sysenter_esp"),
+            (m.msrs.sysenter_eip, self.msrs[2], "msr_sysenter_eip"),
+        ] {
+            if id != before {
+                out.push(name.to_owned());
+            }
+        }
+        // A byte whose term changed was written; a byte *appearing* was
+        // merely materialized by an on-demand read, which also lands here —
+        // acceptable, since "mem" only documents that memory effects may
+        // have accumulated.
+        let mem_changed = m.mem.initialized_len() != self.mem.len()
+            || m.mem
+                .iter_initialized()
+                .any(|(addr, v)| self.mem.get(&addr) != Some(&v));
+        if mem_changed {
+            out.push("mem".to_owned());
+        }
+        out
+    }
+}
+
 /// Explores the machine-state space of one instruction on the Hi-Fi
 /// emulator's semantics.
 pub fn explore_state_space(
@@ -141,13 +238,15 @@ pub fn explore_state_space(
         });
         let inst = match decoded {
             Ok(i) => i,
-            Err(fault) => return PathEnd::DecodeFault(fault.vector()),
+            Err(fault) => return (PathEnd::DecodeFault(fault.vector()), Vec::new()),
         };
-        match interp::execute_decoded(e, &mut m, &quirks, &inst, layout::CODE_BASE) {
+        let before = MachineProbe::of(&m);
+        let end = match interp::execute_decoded(e, &mut m, &quirks, &inst, layout::CODE_BASE) {
             StepOutcome::Normal => PathEnd::Retired,
             StepOutcome::Halt => PathEnd::Halted,
             StepOutcome::Exception(ex) => PathEnd::Exception(ex.vector()),
-        }
+        };
+        (end, before.clobbers_of(&m))
     });
 
     let env = symstate::baseline_env(&exec, baseline);
@@ -172,10 +271,11 @@ pub fn explore_state_space(
             }
         }
         paths.push(PathTest {
-            end: p.value,
+            end: p.value.0,
             state: TestState { items },
             pc_len: p.path_condition.len(),
             path_id: p.path_id,
+            clobbers: p.value.1.clone(),
             minimize: mstats,
         });
     }
@@ -219,6 +319,25 @@ pub fn to_test_programs(space: &StateSpace, name_prefix: &str) -> Vec<TestProgra
                 prog.path_id = p.path_id;
                 prog
             })
+        })
+        .collect()
+}
+
+/// Converts explored paths into chainable segments for
+/// [`pokemu_testgen::TestProgram::chain`], named `{prefix}/path{i}` to
+/// mirror [`to_test_programs`]. Indices align with [`StateSpace::paths`],
+/// so callers can pick segments by [`PathEnd`].
+pub fn to_chain_segments(space: &StateSpace, name_prefix: &str) -> Vec<ChainSegment> {
+    space
+        .paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ChainSegment {
+            name: format!("{name_prefix}/path{i}"),
+            insn: space.insn.clone(),
+            state: p.state.clone(),
+            path_id: p.path_id,
+            clobbers: p.clobbers.clone(),
         })
         .collect()
 }
@@ -268,6 +387,44 @@ mod tests {
             .filter(|p| !p.state.items.is_empty())
             .collect();
         assert_eq!(constrained.len(), 1, "{:?}", space.paths);
+    }
+
+    #[test]
+    fn clobber_export_names_written_components() {
+        let baseline = baseline_snapshot();
+
+        // clc (F8) rewrites EFLAGS and nothing else.
+        let space = explore_state_space(&[0xf8], &baseline, small_config());
+        assert_eq!(space.paths[0].clobbers, vec!["eflags".to_owned()]);
+
+        // pop eax (58) writes EAX and ESP; the stack read materializes
+        // memory terms, so "mem" may also appear — but no other register.
+        // Fault paths legitimately report nothing written, so look at the
+        // retired path.
+        let space = explore_state_space(&[0x58], &baseline, small_config());
+        let p = space
+            .paths
+            .iter()
+            .find(|p| p.end == PathEnd::Retired)
+            .expect("pop eax retires on some path");
+        let c = &p.clobbers;
+        assert!(c.contains(&"eax".to_owned()), "{c:?}");
+        assert!(c.contains(&"esp".to_owned()), "{c:?}");
+        assert!(!c.contains(&"ebx".to_owned()), "{c:?}");
+        assert!(!c.contains(&"eflags".to_owned()), "{c:?}");
+    }
+
+    #[test]
+    fn chain_segments_mirror_paths() {
+        let baseline = baseline_snapshot();
+        let space = explore_state_space(&[0x74, 0x02], &baseline, small_config());
+        let segs = to_chain_segments(&space, "jz");
+        assert_eq!(segs.len(), space.paths.len());
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.name, format!("jz/path{i}"));
+            assert_eq!(s.insn, space.insn);
+            assert_eq!(s.path_id, space.paths[i].path_id);
+        }
     }
 
     #[test]

@@ -11,12 +11,17 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod conformance;
 pub mod manifest;
 pub mod pipeline;
 pub mod random;
 pub mod targets;
 
 pub use compare::{class_of, compare, undefined_flags_of, Clusters, Difference, RootCause};
+pub use conformance::{
+    build_corpus, check_conformance, find_roms_dir, program_json, run_conformance, write_baselines,
+    ConformanceRun, ProgramResult, Violation,
+};
 pub use manifest::RunManifest;
 pub use pipeline::{
     generate_for_instruction, run_cross_validation, run_on_all_targets, CaseOutcome,

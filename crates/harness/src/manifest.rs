@@ -251,7 +251,7 @@ fn quarantine_json(q: &pokemu_rt::QuarantineRecord) -> String {
     )
 }
 
-fn deviation_json(d: &DeviationRecord) -> String {
+pub(crate) fn deviation_json(d: &DeviationRecord) -> String {
     let components: Vec<String> = d
         .components
         .iter()

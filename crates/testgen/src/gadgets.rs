@@ -58,6 +58,15 @@ pub enum GadgetError {
     DependencyCycle(String),
     /// No gadget exists for a required initialization.
     Unsupported(String),
+    /// The test instruction is empty: there is nothing to test.
+    EmptyTestInsn,
+    /// A state item writes into a region the program layout owns (the code
+    /// image, the gadget scratch block, or the halting handler): the
+    /// initializer would corrupt the program that establishes it.
+    LayoutOverlap(u32),
+    /// Two state items assign different values to the same location; no
+    /// emission order can satisfy both.
+    AddressCollision(u32),
 }
 
 impl std::fmt::Display for GadgetError {
@@ -65,6 +74,13 @@ impl std::fmt::Display for GadgetError {
         match self {
             GadgetError::DependencyCycle(s) => write!(f, "gadget dependency cycle: {s}"),
             GadgetError::Unsupported(s) => write!(f, "no gadget for: {s}"),
+            GadgetError::EmptyTestInsn => write!(f, "empty test instruction"),
+            GadgetError::LayoutOverlap(a) => {
+                write!(f, "state item overlaps the program layout at {a:#x}")
+            }
+            GadgetError::AddressCollision(a) => {
+                write!(f, "conflicting state items collide at {a:#x}")
+            }
         }
     }
 }
@@ -226,6 +242,15 @@ impl GadgetPlan {
         for g in &self.gadgets {
             emit_gadget(a, code_base, &g.item);
         }
+    }
+
+    /// The state items in emission order, including the corrective gadgets
+    /// the plan added (segment reloads forced by descriptor-byte writes,
+    /// scratch-register restores). The program chainer replays these into
+    /// its established-state ledger so a later segment knows exactly what
+    /// machine state the previous initializer left behind.
+    pub fn items(&self) -> impl Iterator<Item = &StateItem> + '_ {
+        self.gadgets.iter().map(|g| &g.item)
     }
 
     /// Human-readable listing (used by the Fig. 5 example binary).

@@ -16,4 +16,4 @@ pub mod program;
 
 pub use gadgets::{GadgetError, GadgetPlan, StateItem, TestState};
 pub use layout::{boot_state, BootState};
-pub use program::TestProgram;
+pub use program::{chain_path_id, fnv1a, ChainSegment, SegmentMeta, TestProgram};

@@ -1,14 +1,60 @@
-//! Complete test programs (paper §4, Fig. 4).
+//! Complete test programs (paper §4, Fig. 4) and multi-instruction chains.
 //!
 //! A test program is the image a target boots: the fixed baseline
 //! initializer, the per-test state initializers, the test instruction, and
 //! `hlt`. Execution ends by halting or by an exception (whose baseline IDT
 //! handler halts), at which point the harness snapshots the machine.
+//!
+//! [`TestProgram::chain`] stitches several explored paths into *one*
+//! program sharing machine state: the final state of segment *i* (its
+//! declared state, its gadget side effects, and the components its test
+//! instruction clobbered) is threaded into the initializer of segment
+//! *i+1*, so only the state that actually changed is re-established.
+//! Memory is deliberately *never* restored between segments — accumulated
+//! memory effects (descriptor accessed bits, stale tables, dirtied pages)
+//! are exactly the sequence-dependent state the chained corpus exists to
+//! expose.
+
+use std::collections::HashMap;
 
 use pokemu_isa::asm::Asm;
+use pokemu_isa::state::{Gpr, Seg};
 
-use crate::gadgets::{GadgetError, GadgetPlan, TestState};
+use crate::gadgets::{GadgetError, GadgetPlan, StateItem, TestState};
 use crate::layout::{self, CODE_BASE};
+
+/// One link of a chained test program: an explored path's minimized state,
+/// the instruction that retriggers it, and the state components the
+/// instruction writes (the exploration clobber export).
+#[derive(Debug, Clone)]
+pub struct ChainSegment {
+    /// The contributing path's name (recorded in [`SegmentMeta`]).
+    pub name: String,
+    /// The segment's test-instruction bytes.
+    pub insn: Vec<u8>,
+    /// The minimized state difference that triggers the path.
+    pub state: TestState,
+    /// The contributing path's deterministic id.
+    pub path_id: u64,
+    /// Names of symbolic state components the test instruction wrote
+    /// (`"eax"`, `"eflags"`, `"sel_ds"`, `"mem"`, ...): the chainer must
+    /// treat them as unknown afterwards and re-establish them for the next
+    /// segment.
+    pub clobbers: Vec<String>,
+}
+
+/// Provenance of one segment inside a chained program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// The contributing path's name.
+    pub name: String,
+    /// The segment's test-instruction bytes.
+    pub insn: Vec<u8>,
+    /// The contributing path's id.
+    pub path_id: u64,
+    /// Offset of this segment's test instruction within the program code.
+    pub insn_offset: u32,
+}
 
 /// A runnable test: code image plus metadata.
 #[derive(Debug, Clone)]
@@ -17,15 +63,165 @@ pub struct TestProgram {
     pub name: String,
     /// The code blob, loaded at [`layout::CODE_BASE`].
     pub code: Vec<u8>,
-    /// Offset of the test instruction within `code` (diagnostics).
+    /// Offset of the test instruction within `code` (diagnostics; for a
+    /// chained program, the *last* segment's instruction).
     pub test_insn_offset: u32,
-    /// The raw test-instruction bytes.
+    /// The raw test-instruction bytes (for a chained program, the last
+    /// segment's — the instruction whose undefined-flag mask applies to the
+    /// final EFLAGS).
     pub test_insn: Vec<u8>,
-    /// The state items this test establishes.
+    /// The state items this test establishes (for a chained program, the
+    /// union of every segment's emitted initializers).
     pub state: TestState,
     /// The symbolic-exploration path this test exercises (0 when the test
-    /// did not come from state-space exploration, e.g. random baselines).
+    /// did not come from state-space exploration, e.g. random baselines;
+    /// for a chained program, [`chain_path_id`] over the segment ids).
     pub path_id: u64,
+    /// Per-segment provenance; empty for single-instruction programs.
+    pub segments: Vec<SegmentMeta>,
+}
+
+/// FNV-1a over a byte string (the same hash family the engine uses for
+/// path ids), used to combine segment path ids into one chain id.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic id of a chain: FNV-1a over the little-endian segment
+/// path ids, so any segment change, reorder, insertion, or removal changes
+/// the chain id.
+pub fn chain_path_id(ids: impl IntoIterator<Item = u64>) -> u64 {
+    let mut bytes = Vec::new();
+    for id in ids {
+        bytes.extend_from_slice(&id.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// One component of machine state the chainer tracks across segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Slot {
+    Gpr(Gpr),
+    Eflags,
+    Mem(u32),
+    Selector(Seg),
+    Cr0,
+    Cr4,
+    Cr3Flags,
+    GdtrLimit,
+    IdtrLimit,
+    Msr(u32),
+}
+
+fn slot_of(item: &StateItem) -> (Slot, u64) {
+    match *item {
+        StateItem::Gpr(r, v) => (Slot::Gpr(r), v as u64),
+        StateItem::Eflags(v) => (Slot::Eflags, v as u64),
+        StateItem::MemByte(a, v) => (Slot::Mem(a), v as u64),
+        StateItem::Selector(s, v) => (Slot::Selector(s), v as u64),
+        StateItem::Cr0(v) => (Slot::Cr0, v as u64),
+        StateItem::Cr4(v) => (Slot::Cr4, v as u64),
+        StateItem::Cr3Flags(v) => (Slot::Cr3Flags, v as u64),
+        StateItem::GdtrLimit(v) => (Slot::GdtrLimit, v as u64),
+        StateItem::IdtrLimit(v) => (Slot::IdtrLimit, v as u64),
+        StateItem::Msr(a, v) => (Slot::Msr(a), v as u64),
+    }
+}
+
+fn item_of(slot: Slot, v: u64) -> StateItem {
+    match slot {
+        Slot::Gpr(r) => StateItem::Gpr(r, v as u32),
+        Slot::Eflags => StateItem::Eflags(v as u32),
+        Slot::Mem(a) => StateItem::MemByte(a, v as u8),
+        Slot::Selector(s) => StateItem::Selector(s, v as u16),
+        Slot::Cr0 => StateItem::Cr0(v as u32),
+        Slot::Cr4 => StateItem::Cr4(v as u32),
+        Slot::Cr3Flags => StateItem::Cr3Flags(v as u32),
+        Slot::GdtrLimit => StateItem::GdtrLimit(v as u16),
+        Slot::IdtrLimit => StateItem::IdtrLimit(v as u16),
+        Slot::Msr(a) => StateItem::Msr(a, v as u32),
+    }
+}
+
+/// The value the baseline initializer leaves in a register-family slot;
+/// `None` for memory, which the chainer never restores.
+fn baseline_slot_value(slot: Slot) -> Option<u64> {
+    Some(match slot {
+        Slot::Gpr(Gpr::Esp) => layout::STACK_TOP as u64,
+        Slot::Gpr(_) => 0,
+        Slot::Eflags => layout::BASE_EFLAGS as u64,
+        Slot::Selector(seg) => layout::baseline_selector(seg) as u64,
+        Slot::Cr0 => 0x8000_0001,
+        Slot::Cr4 => 0,
+        Slot::Cr3Flags => 0,
+        Slot::GdtrLimit => layout::GDT_LIMIT as u64,
+        Slot::IdtrLimit => layout::IDT_LIMIT as u64,
+        Slot::Msr(_) => 0,
+        Slot::Mem(_) => return None,
+    })
+}
+
+/// Maps an exploration clobber name to the slot(s) it invalidates. `"mem"`
+/// maps to nothing: memory effects accumulate across segments by design.
+fn clobbered_slots(name: &str) -> Option<Slot> {
+    if let Some(seg) = name.strip_prefix("sel_") {
+        return Seg::ALL
+            .into_iter()
+            .find(|s| s.name() == seg)
+            .map(Slot::Selector);
+    }
+    match name {
+        "eax" | "ecx" | "edx" | "ebx" | "esp" | "ebp" | "esi" | "edi" => Gpr::ALL
+            .into_iter()
+            .find(|r| r.name() == name)
+            .map(Slot::Gpr),
+        "eflags" => Some(Slot::Eflags),
+        "cr0" => Some(Slot::Cr0),
+        "cr4" => Some(Slot::Cr4),
+        "cr3_flags" => Some(Slot::Cr3Flags),
+        "gdtr_limit" => Some(Slot::GdtrLimit),
+        "idtr_limit" => Some(Slot::IdtrLimit),
+        "msr_sysenter_cs" => Some(Slot::Msr(0x174)),
+        "msr_sysenter_esp" => Some(Slot::Msr(0x175)),
+        "msr_sysenter_eip" => Some(Slot::Msr(0x176)),
+        _ => None, // "mem" and unknown names: nothing to restore
+    }
+}
+
+/// Regions a state item must not write: the code image (the initializer
+/// would overwrite the program being run), the `lgdt`/`lidt` scratch block,
+/// and the halting exception handler.
+fn reserved_region(addr: u32) -> bool {
+    (CODE_BASE..CODE_BASE + 0x1000).contains(&addr)
+        || (layout::SCRATCH_BASE..layout::SCRATCH_BASE + 16).contains(&addr)
+        || addr == layout::HALT_HANDLER
+}
+
+/// Validates one (state, instruction) pair before assembly.
+fn validate(state: &TestState, test_insn: &[u8]) -> Result<(), GadgetError> {
+    if test_insn.is_empty() {
+        return Err(GadgetError::EmptyTestInsn);
+    }
+    let mut mem: HashMap<u32, u8> = HashMap::new();
+    for item in &state.items {
+        if let StateItem::MemByte(addr, v) = *item {
+            if reserved_region(addr) {
+                return Err(GadgetError::LayoutOverlap(addr));
+            }
+            if let Some(&prev) = mem.get(&addr) {
+                if prev != v {
+                    return Err(GadgetError::AddressCollision(addr));
+                }
+            }
+            mem.insert(addr, v);
+        }
+    }
+    Ok(())
 }
 
 impl TestProgram {
@@ -33,12 +229,16 @@ impl TestProgram {
     ///
     /// # Errors
     ///
-    /// Propagates [`GadgetError`] if the state cannot be sequenced.
+    /// [`GadgetError::EmptyTestInsn`] for an empty instruction,
+    /// [`GadgetError::LayoutOverlap`] / [`GadgetError::AddressCollision`]
+    /// for states that write the program layout or contradict themselves,
+    /// and any [`GadgetError`] from sequencing.
     pub fn build(
         name: String,
         state: TestState,
         test_insn: &[u8],
     ) -> Result<TestProgram, GadgetError> {
+        validate(&state, test_insn)?;
         let plan = GadgetPlan::build(&state)?;
         let mut a = Asm::new();
         layout::emit_baseline(&mut a, CODE_BASE);
@@ -54,6 +254,7 @@ impl TestProgram {
             test_insn: test_insn.to_vec(),
             state,
             path_id: 0,
+            segments: Vec::new(),
         })
     }
 
@@ -61,9 +262,147 @@ impl TestProgram {
     ///
     /// # Errors
     ///
-    /// Never fails in practice; kept fallible for interface uniformity.
+    /// [`GadgetError::EmptyTestInsn`] for an empty instruction; otherwise
+    /// never fails in practice.
     pub fn baseline_only(name: String, test_insn: &[u8]) -> Result<TestProgram, GadgetError> {
         Self::build(name, TestState::default(), test_insn)
+    }
+
+    /// Stitches `k` explored paths into one test program with shared
+    /// machine state (paper §4 extended to sequences; ROADMAP item 4).
+    ///
+    /// The baseline initializer runs once. Before each segment's test
+    /// instruction, the chainer emits only the initializers that segment
+    /// actually needs, threading the final state of segment *i* into the
+    /// constraints of segment *i+1*:
+    ///
+    /// * a declared state item is skipped when the established-state ledger
+    ///   already holds its exact value;
+    /// * register-family components the previous test instruction clobbered
+    ///   are restored to their declared value — or to the baseline value
+    ///   when the next segment leaves them unconstrained — so each path
+    ///   replays from the state it was explored against;
+    /// * **memory is never restored**: descriptor accessed bits, stale
+    ///   tables, and dirtied pages accumulate across segments. This is what
+    ///   lets a chain expose deviations (accessed-bit write-back, stale
+    ///   descriptor caches) that the same instructions run single-shot
+    ///   cannot.
+    ///
+    /// A segment that faults jumps to the halting IDT handler, ending the
+    /// program early: exceptions are intercepted, not resumed, so faulting
+    /// paths belong in the final slot (see DESIGN.md §9).
+    ///
+    /// # Errors
+    ///
+    /// [`GadgetError::EmptyTestInsn`] when `segments` is empty or any
+    /// segment's instruction is; layout/collision/sequencing errors as in
+    /// [`TestProgram::build`]. [`GadgetError::LayoutOverlap`] also flags a
+    /// chain whose code outgrows the 4-KiB code region.
+    pub fn chain(name: String, segments: &[ChainSegment]) -> Result<TestProgram, GadgetError> {
+        if segments.is_empty() {
+            return Err(GadgetError::EmptyTestInsn);
+        }
+        for seg in segments {
+            validate(&seg.state, &seg.insn)?;
+        }
+
+        let mut a = Asm::new();
+        layout::emit_baseline(&mut a, CODE_BASE);
+
+        // What the machine currently holds, by slot. Register-family slots
+        // start at their post-baseline values; memory starts absent (the
+        // baseline image is the implicit ledger for untouched bytes).
+        let mut established: HashMap<Slot, u64> = HashMap::new();
+        for slot in [
+            Slot::Eflags,
+            Slot::Cr0,
+            Slot::Cr4,
+            Slot::Cr3Flags,
+            Slot::GdtrLimit,
+            Slot::IdtrLimit,
+            Slot::Msr(0x174),
+            Slot::Msr(0x175),
+            Slot::Msr(0x176),
+        ]
+        .into_iter()
+        .chain(Gpr::ALL.into_iter().map(Slot::Gpr))
+        .chain(Seg::ALL.into_iter().map(Slot::Selector))
+        {
+            if let Some(v) = baseline_slot_value(slot) {
+                established.insert(slot, v);
+            }
+        }
+
+        let mut pending_clobbers: Vec<Slot> = Vec::new();
+        let mut metas = Vec::with_capacity(segments.len());
+        let mut union_state = TestState::default();
+
+        for seg in segments {
+            let declared: HashMap<Slot, u64> = seg.state.items.iter().map(slot_of).collect();
+            let mut items: Vec<StateItem> = Vec::new();
+            // Restore what the previous test instruction clobbered and this
+            // segment leaves unconstrained (memory slots have no baseline
+            // here and accumulate instead).
+            for &slot in &pending_clobbers {
+                if declared.contains_key(&slot) {
+                    continue;
+                }
+                if let Some(base) = baseline_slot_value(slot) {
+                    items.push(item_of(slot, base));
+                }
+            }
+            // Establish the declared state, minus what already holds.
+            for item in &seg.state.items {
+                let (slot, v) = slot_of(item);
+                if established.get(&slot) != Some(&v) {
+                    items.push(*item);
+                }
+            }
+            let plan = GadgetPlan::build(&TestState { items })?;
+            for item in plan.items() {
+                let (slot, v) = slot_of(item);
+                established.insert(slot, v);
+                union_state.items.push(*item);
+            }
+            plan.emit(&mut a, CODE_BASE);
+            metas.push(SegmentMeta {
+                name: seg.name.clone(),
+                insn: seg.insn.clone(),
+                path_id: seg.path_id,
+                insn_offset: a.len() as u32,
+            });
+            a.raw(&seg.insn);
+            pending_clobbers.clear();
+            for c in &seg.clobbers {
+                if let Some(slot) = clobbered_slots(c) {
+                    established.remove(&slot);
+                    if !pending_clobbers.contains(&slot) {
+                        pending_clobbers.push(slot);
+                    }
+                }
+            }
+        }
+        a.hlt();
+        if a.len() > 0x1000 {
+            // The layout maps a single 4-KiB code region; a longer chain
+            // would collide with whatever follows it.
+            return Err(GadgetError::LayoutOverlap(CODE_BASE + 0x1000));
+        }
+        pokemu_rt::metrics::counter("testgen.programs").inc();
+        pokemu_rt::metrics::counter("testgen.chained_programs").inc();
+
+        let last = metas.last().expect("non-empty chain");
+        let (test_insn_offset, test_insn) = (last.insn_offset, last.insn.clone());
+        let path_id = chain_path_id(segments.iter().map(|s| s.path_id));
+        Ok(TestProgram {
+            name,
+            code: a.into_bytes(),
+            test_insn_offset,
+            test_insn,
+            state: union_state,
+            path_id,
+            segments: metas,
+        })
     }
 
     /// The linear address of the test instruction.
@@ -75,7 +414,7 @@ impl TestProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gadgets::StateItem;
+    use crate::gadgets::{sel, StateItem};
     use pokemu_isa::state::Gpr;
 
     #[test]
@@ -92,5 +431,199 @@ mod tests {
         assert_eq!(prog.code[prog.test_insn_offset as usize], 0x50);
         assert_eq!(*prog.code.last().unwrap(), 0xf4);
         assert!(prog.code.len() > 150);
+        assert!(prog.segments.is_empty(), "single-shot has no segment metas");
+    }
+
+    #[test]
+    fn empty_test_instruction_is_rejected() {
+        assert_eq!(
+            TestProgram::build("empty".into(), TestState::default(), &[]).unwrap_err(),
+            GadgetError::EmptyTestInsn
+        );
+        assert_eq!(
+            TestProgram::baseline_only("empty".into(), &[]).unwrap_err(),
+            GadgetError::EmptyTestInsn
+        );
+        assert_eq!(
+            TestProgram::chain("empty".into(), &[]).unwrap_err(),
+            GadgetError::EmptyTestInsn
+        );
+    }
+
+    #[test]
+    fn state_writing_the_code_region_is_a_layout_overlap() {
+        for addr in [
+            CODE_BASE,
+            CODE_BASE + 0xfff,
+            layout::SCRATCH_BASE,
+            layout::SCRATCH_BASE + 15,
+            layout::HALT_HANDLER,
+        ] {
+            let state = TestState {
+                items: vec![StateItem::MemByte(addr, 0x90)],
+            };
+            assert_eq!(
+                TestProgram::build("overlap".into(), state, &[0x90]).unwrap_err(),
+                GadgetError::LayoutOverlap(addr),
+                "{addr:#x} must be rejected"
+            );
+        }
+        // One byte past the code region is ordinary memory again.
+        let state = TestState {
+            items: vec![StateItem::MemByte(CODE_BASE + 0x1000, 0x90)],
+        };
+        assert!(TestProgram::build("past".into(), state, &[0x90]).is_ok());
+    }
+
+    #[test]
+    fn conflicting_memory_bytes_are_an_address_collision() {
+        let addr = layout::GDT_BASE + 10 * 8 + 5;
+        let state = TestState {
+            items: vec![
+                StateItem::MemByte(addr, 0x13),
+                StateItem::MemByte(addr, 0x93),
+            ],
+        };
+        assert_eq!(
+            TestProgram::build("collide".into(), state, &[0x50]).unwrap_err(),
+            GadgetError::AddressCollision(addr)
+        );
+        // The same byte twice with the same value is merely redundant.
+        let state = TestState {
+            items: vec![
+                StateItem::MemByte(addr, 0x13),
+                StateItem::MemByte(addr, 0x13),
+            ],
+        };
+        assert!(TestProgram::build("dup".into(), state, &[0x50]).is_ok());
+    }
+
+    fn seg(name: &str, insn: &[u8], state: TestState, clobbers: &[&str]) -> ChainSegment {
+        ChainSegment {
+            name: name.into(),
+            insn: insn.to_vec(),
+            state,
+            path_id: fnv1a(name.as_bytes()),
+            clobbers: clobbers.iter().map(|c| (*c).to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn chain_threads_state_and_skips_already_established_items() {
+        // Segment 1 establishes EAX=5; segment 2 declares the same EAX=5
+        // and nothing clobbered it, so no second initializer is emitted.
+        let s1 = seg(
+            "a",
+            &[0x90],
+            TestState {
+                items: vec![StateItem::Gpr(Gpr::Eax, 5)],
+            },
+            &[],
+        );
+        let s2 = seg(
+            "b",
+            &[0x90],
+            TestState {
+                items: vec![StateItem::Gpr(Gpr::Eax, 5)],
+            },
+            &[],
+        );
+        let chained = TestProgram::chain("c".into(), &[s1.clone(), s2.clone()]).unwrap();
+        assert_eq!(chained.segments.len(), 2);
+        // Exactly one `mov eax, 5` (b8 05 00 00 00) in the whole program:
+        // the baseline zeroes EAX, segment 1 sets it, segment 2 reuses it.
+        let needle = [0xb8, 0x05, 0x00, 0x00, 0x00];
+        let count = chained
+            .code
+            .windows(needle.len())
+            .filter(|w| *w == needle)
+            .count();
+        assert_eq!(count, 1, "second segment must not re-establish EAX");
+
+        // With a clobber reported between them, it must be re-established.
+        let s1c = ChainSegment {
+            clobbers: vec!["eax".into()],
+            ..s1
+        };
+        let chained = TestProgram::chain("c2".into(), &[s1c, s2]).unwrap();
+        let count = chained
+            .code
+            .windows(needle.len())
+            .filter(|w| *w == needle)
+            .count();
+        assert_eq!(count, 2, "clobbered EAX must be re-established");
+    }
+
+    #[test]
+    fn chain_restores_clobbered_unconstrained_state_to_baseline() {
+        // Segment 1 clobbers EFLAGS; segment 2 declares nothing, so the
+        // chainer restores the baseline EFLAGS image before it runs.
+        let s1 = seg("flags", &[0xf8], TestState::default(), &["eflags"]);
+        let s2 = seg("nop", &[0x90], TestState::default(), &[]);
+        let chained = TestProgram::chain("r".into(), &[s1, s2]).unwrap();
+        // push BASE_EFLAGS; popf appears once in the baseline and once as
+        // the restore.
+        let mut needle = vec![0x68];
+        needle.extend_from_slice(&layout::BASE_EFLAGS.to_le_bytes());
+        needle.push(0x9d);
+        let count = chained
+            .code
+            .windows(needle.len())
+            .filter(|w| *w == needle)
+            .count();
+        assert_eq!(count, 2, "baseline EFLAGS must be restored once");
+    }
+
+    #[test]
+    fn chain_path_id_is_order_sensitive_and_deterministic() {
+        let a = chain_path_id([1, 2, 3]);
+        let b = chain_path_id([1, 2, 3]);
+        let c = chain_path_id([3, 2, 1]);
+        let d = chain_path_id([1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn chained_code_decodes_and_halts() {
+        let s1 = seg(
+            "fig5",
+            &[0x50],
+            TestState {
+                items: vec![
+                    StateItem::Gpr(Gpr::Esp, 0x002007dc),
+                    StateItem::MemByte(layout::GDT_BASE + 10 * 8 + 5, 0x13),
+                ],
+            },
+            &["esp", "mem"],
+        );
+        let s2 = seg(
+            "reload",
+            &[0x8e, 0xd8],
+            TestState {
+                items: vec![StateItem::Gpr(Gpr::Eax, sel(5) as u32)],
+            },
+            &["sel_ds"],
+        );
+        let prog = TestProgram::chain("two".into(), &[s1, s2]).unwrap();
+        assert_eq!(*prog.code.last().unwrap(), 0xf4);
+        assert_eq!(prog.segments.len(), 2);
+        assert!(prog.segments[0].insn_offset < prog.segments[1].insn_offset);
+        assert_eq!(prog.test_insn, vec![0x8e, 0xd8]);
+        // Every byte decodes.
+        use pokemu_symx::Dom;
+        let mut d = pokemu_symx::Concrete::new();
+        let bytes = prog.code.clone();
+        let mut off = 0;
+        while off < bytes.len() {
+            let w = bytes[off..].to_vec();
+            let i = pokemu_isa::decode(&mut d, |d, k| {
+                Ok(d.constant(8, *w.get(k as usize).unwrap_or(&0) as u64))
+            })
+            .expect("chained code must decode");
+            off += i.len as usize;
+        }
+        assert_eq!(off, bytes.len());
     }
 }

@@ -49,6 +49,35 @@ if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
 fi
 echo "coverage gate correctly rejected the coverage-blind run"
 
+echo "== conformance gate (chained corpus vs committed tests/roms/)"
+# Rebuild the conformance corpus and compare every program's behavior
+# against the committed expected-deviation baselines: any new deviation,
+# vanished deviation, path-id change, or generated-code change fails with
+# the violating program names printed. Refresh with
+# scripts/refresh-baseline.sh after an intentional change.
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    conformance --roms tests/roms
+
+echo "== conformance gate self-test (a tampered baseline must fail the gate)"
+# Prove the gate actually gates: copy the committed baselines, corrupt one
+# program's expected deviations, and require the gate to reject exactly
+# that program (exit 1, name printed).
+rm -rf target/conformance-selftest
+mkdir -p target/conformance-selftest
+cp tests/roms/*.json target/conformance-selftest/
+sed -i 's/"deviations":\[\]/"deviations":[{"target":"lofi","test":"tampered","insn":"90","path_id":1,"cause":"tampered","components":[]}]/' \
+    target/conformance-selftest/chain-reload-baseline.json
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    conformance --roms target/conformance-selftest \
+    >target/conformance-selftest/out.log 2>&1; then
+    echo "ERROR: conformance gate passed a tampered baseline" >&2
+    exit 1
+fi
+grep -q 'chain/reload-baseline' target/conformance-selftest/out.log \
+    || { echo "ERROR: gate failed without naming the tampered program:" >&2; \
+         cat target/conformance-selftest/out.log >&2; exit 1; }
+echo "conformance gate correctly rejected the tampered baseline"
+
 echo "== chaos smoke (fault injection end to end)"
 # Arm a deterministic worker panic on work item 1: the campaign must still
 # finish (exit 0), attribute exactly one quarantine record in the manifest,

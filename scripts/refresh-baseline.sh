@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Regenerates the committed CI baseline manifest from a fresh smoke run.
+# Regenerates the committed CI baselines from fresh runs:
+#   - tests/baselines/smoke-manifest.json (smoke-run coverage/cluster gate)
+#   - tests/roms/*.json (chained conformance corpus, DESIGN.md §9)
 #
-# One command: after an intentional coverage/cluster change, run this and
-# commit the updated tests/baselines/smoke-manifest.json. The baseline's
-# comparable sections (counts, coverage, clusters, deviations) are
-# deterministic for the fixed smoke config, so the file is machine- and
+# One command: after an intentional coverage/cluster/corpus change, run this
+# and commit the updated files. The baselines' comparable sections are
+# deterministic for the fixed configs, so the files are machine- and
 # thread-count-independent; timings vary but are never compared.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,3 +15,7 @@ POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=smoke \
 mkdir -p tests/baselines
 cp target/run/smoke/manifest.json tests/baselines/smoke-manifest.json
 echo "baseline refreshed: tests/baselines/smoke-manifest.json"
+
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    conformance --roms tests/roms --write
+echo "baseline refreshed: tests/roms/"

@@ -188,6 +188,65 @@ fn starved_solver_degrades_one_instruction_not_the_run() {
     assert_only_one_instruction_lost(&clean, &cv1);
 }
 
+/// Quarantine isolation extends to the conformance corpus: a worker panic
+/// on one corpus program (the same `pool.item` fault point `POKEMU_FAULT`
+/// arms from the environment) removes exactly that program's result, and
+/// every other program's rendered baseline document stays byte-identical
+/// to a fault-free run — on 1 and 8 worker threads alike.
+#[test]
+fn quarantined_corpus_program_leaves_the_rest_byte_identical() {
+    use pokemu::harness::conformance::{build_corpus, program_json, run_conformance};
+    use std::collections::BTreeMap;
+
+    let _g = chaos_lock();
+    let _d = Disarm;
+
+    let corpus = build_corpus();
+    let render = |run: &pokemu::harness::ConformanceRun| -> BTreeMap<String, String> {
+        run.results
+            .iter()
+            .map(|r| (r.name.clone(), program_json(r)))
+            .collect()
+    };
+
+    fault::arm("pool.item:panic:1").unwrap();
+    let faulted1 = run_conformance(&corpus, 1);
+    let faulted8 = run_conformance(&corpus, 8);
+    fault::disarm();
+    let clean = run_conformance(&corpus, 2);
+
+    assert!(clean.quarantined.is_empty());
+    assert_eq!(clean.results.len(), corpus.len());
+
+    let clean_docs = render(&clean);
+    for (faulted, threads) in [(&faulted1, 1), (&faulted8, 8)] {
+        assert_eq!(faulted.quarantined.len(), 1, "{threads} threads");
+        assert_eq!(
+            faulted.quarantined[0].item,
+            Some(1),
+            "the fault named corpus item 1 ({threads} threads)"
+        );
+        assert_eq!(
+            faulted.results.len(),
+            corpus.len() - 1,
+            "exactly the faulted program is missing ({threads} threads)"
+        );
+        let docs = render(faulted);
+        assert!(
+            !docs.contains_key(&corpus[1].name),
+            "the quarantined program must not report a result"
+        );
+        for (name, doc) in &docs {
+            assert_eq!(
+                Some(doc),
+                clean_docs.get(name),
+                "{name} must be byte-identical to the fault-free run \
+                 ({threads} threads)"
+            );
+        }
+    }
+}
+
 /// A latency fault that stalls a query past the solver's own deadline
 /// degrades that query to `Unknown`; the next query (fault disarmed, fresh
 /// per-query deadline) answers normally — learned state intact.

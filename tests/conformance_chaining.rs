@@ -1,0 +1,197 @@
+//! The chained conformance corpus (DESIGN.md §9): corpus shape, the
+//! committed-baseline gate on HEAD, and the headline property that chaining
+//! exists to prove — a deviation class (descriptor accessed-bit
+//! accumulation) that multi-instruction programs expose and single-shot
+//! programs *cannot*.
+
+use std::sync::OnceLock;
+
+use pokemu::harness::conformance::{
+    build_corpus, check_conformance, find_roms_dir, run_conformance, ConformanceRun,
+    CONFORMANCE_FIDELITY,
+};
+use pokemu::harness::{compare, run_on_all_targets};
+use pokemu::testgen::{gadgets::sel, layout, StateItem, TestProgram, TestState};
+use pokemu_isa::state::{Gpr, Seg};
+
+/// Corpus construction explores fifteen instruction families; build it (and
+/// its three-target run) once per test binary.
+fn corpus_run() -> &'static (Vec<TestProgram>, ConformanceRun) {
+    static RUN: OnceLock<(Vec<TestProgram>, ConformanceRun)> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let corpus = build_corpus();
+        let run = run_conformance(&corpus, 2);
+        (corpus, run)
+    })
+}
+
+/// The corpus is big enough to gate on (≥ 24 chained programs, every one
+/// multi-segment, unique names) and spans several root-cause classes.
+#[test]
+fn corpus_spans_deviation_classes() {
+    let (corpus, run) = corpus_run();
+    assert!(corpus.len() >= 24, "only {} programs", corpus.len());
+    assert_eq!(run.results.len(), corpus.len());
+    assert!(run.quarantined.is_empty());
+
+    let mut names = std::collections::BTreeSet::new();
+    for prog in corpus {
+        assert!(
+            prog.segments.len() >= 2,
+            "{} is not a chain ({} segments)",
+            prog.name,
+            prog.segments.len()
+        );
+        assert!(prog.path_id != 0, "{} has no chain path id", prog.name);
+        assert!(names.insert(prog.name.clone()), "duplicate {}", prog.name);
+    }
+
+    let causes: std::collections::BTreeSet<&str> = run
+        .results
+        .iter()
+        .flat_map(|r| r.deviations.iter().map(|d| d.cause.as_str()))
+        .collect();
+    assert!(
+        causes.len() >= 4,
+        "corpus must span several deviation classes, got {causes:?}"
+    );
+    assert!(
+        causes.contains("descriptor accessed-flag maintenance"),
+        "the directed chains must expose accessed-bit write-back: {causes:?}"
+    );
+    // The corpus carries negative evidence too: programs the targets agree
+    // on, so a Lo-Fi regression that *adds* deviations is caught.
+    assert!(
+        run.results.iter().any(|r| r.deviations.is_empty()),
+        "corpus needs conformant programs as controls"
+    );
+    let control = run
+        .results
+        .iter()
+        .find(|r| r.name == "chain/reload-baseline")
+        .expect("control chain present");
+    assert!(
+        control.deviations.is_empty(),
+        "reloading pre-accessed descriptors must deviate nowhere: {:?}",
+        control.deviations
+    );
+}
+
+/// The committed `tests/roms/` baselines match HEAD exactly. This is the
+/// in-tree mirror of the `pokemu-report conformance` CI gate: any drift in
+/// generation (code bytes, path ids, segment provenance) or behavior (new
+/// or vanished deviations) fails here with the violating programs named.
+#[test]
+fn committed_baselines_match_head() {
+    let (_, run) = corpus_run();
+    let roms = find_roms_dir().expect("tests/roms/ must be committed");
+    let violations = check_conformance(&roms, &run.results).expect("baseline dir readable");
+    assert!(
+        violations.is_empty(),
+        "conformance drift — regenerate with `pokemu-report conformance --write` \
+         if intentional:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {}: {}", v.program, v.reason))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The de-access segment: `mov byte [gdt+ds*8+5], 0x92` rewrites the DS
+/// descriptor's attribute byte to its non-accessed encoding.
+fn deaccess_ds_insn() -> Vec<u8> {
+    let addr = layout::GDT_BASE + layout::gdt_index(Seg::Ds) as u32 * 8 + 5;
+    let mut insn = vec![0xc6, 0x05];
+    insn.extend_from_slice(&addr.to_le_bytes());
+    insn.push(0x92);
+    insn
+}
+
+/// The headline acceptance property: accessed-bit accumulation is only
+/// observable in a *sequence*. Both directed segments, run single-shot from
+/// the baseline, deviate on no target — the baseline GDT commits every
+/// descriptor pre-accessed, so a lone reload writes nothing back and a lone
+/// de-access is just a store every target agrees on. Chained, the same two
+/// instructions make hardware (and Hi-Fi) write the accessed bit back into
+/// the de-accessed descriptor while the QEMU-like Lo-Fi profile does not.
+#[test]
+fn accessed_bit_deviation_requires_chaining() {
+    // Single-shot 1: the de-access store alone.
+    let store = TestProgram::build(
+        "single/deaccess-ds".into(),
+        TestState::default(),
+        &deaccess_ds_insn(),
+    )
+    .unwrap();
+    let case = run_on_all_targets(&store, CONFORMANCE_FIDELITY);
+    assert!(
+        compare(&case.hardware, &case.lofi, &store.test_insn).is_none(),
+        "a lone descriptor store deviates nowhere"
+    );
+    assert!(compare(&case.hardware, &case.hifi, &store.test_insn).is_none());
+
+    // Single-shot 2: the reload alone (descriptor still pre-accessed).
+    let reload = TestProgram::build(
+        "single/reload-ds".into(),
+        TestState {
+            items: vec![StateItem::Gpr(
+                Gpr::Eax,
+                sel(layout::gdt_index(Seg::Ds)) as u32,
+            )],
+        },
+        &[0x8e, 0xd8],
+    )
+    .unwrap();
+    let case = run_on_all_targets(&reload, CONFORMANCE_FIDELITY);
+    assert!(
+        compare(&case.hardware, &case.lofi, &reload.test_insn).is_none(),
+        "reloading a pre-accessed descriptor deviates nowhere"
+    );
+    assert!(compare(&case.hardware, &case.hifi, &reload.test_insn).is_none());
+
+    // Chained: the corpus program stitching exactly these two paths.
+    let (_, run) = corpus_run();
+    let chained = run
+        .results
+        .iter()
+        .find(|r| r.name == "chain/deaccess-ds")
+        .expect("directed chain in corpus");
+    assert!(
+        chained
+            .deviations
+            .iter()
+            .any(|d| d.target == "lofi" && d.cause == "descriptor accessed-flag maintenance"),
+        "the chained program must expose the accessed-bit deviation: {:?}",
+        chained.deviations
+    );
+    // Hi-Fi maintains accessed bits like hardware, so the chain stays
+    // clean there — the deviation really is the Lo-Fi shortcut.
+    assert!(
+        chained.deviations.iter().all(|d| d.target != "hifi"),
+        "{:?}",
+        chained.deviations
+    );
+}
+
+/// Segment provenance points at real offsets: each recorded instruction is
+/// literally at its `insn_offset` inside the generated code, in order.
+#[test]
+fn segment_offsets_index_the_real_instruction_bytes() {
+    let (corpus, _) = corpus_run();
+    for prog in corpus {
+        let mut last = 0;
+        for seg in &prog.segments {
+            let off = seg.insn_offset as usize;
+            assert!(off >= last, "{}: segment offsets must ascend", prog.name);
+            assert_eq!(
+                &prog.code[off..off + seg.insn.len()],
+                &seg.insn[..],
+                "{}: segment {} bytes not at recorded offset",
+                prog.name,
+                seg.name
+            );
+            last = off;
+        }
+    }
+}

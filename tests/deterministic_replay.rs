@@ -186,6 +186,89 @@ fn random_baseline_is_a_function_of_its_seed() {
     assert_eq!(a.lofi_clusters, b.lofi_clusters);
 }
 
+/// Chained test programs obey the replay contract: a chain whose segment
+/// picks are drawn from an `rt::prop` generator regenerates *byte-for-byte
+/// identical* code when the failure is replayed through `POKEMU_PROP_SEED`
+/// / `POKEMU_PROP_SIZE` — the chainer itself adds no nondeterminism on top
+/// of the seed.
+#[test]
+fn prop_seed_replays_chained_programs_byte_for_byte() {
+    use pokemu::explore::{explore_state_space, to_chain_segments, StateSpaceConfig};
+    use pokemu::testgen::TestProgram;
+
+    let _metrics = metrics_lock();
+    let baseline = pokemu::harness::baseline_snapshot();
+    let config = StateSpaceConfig {
+        max_paths: 64,
+        ..StateSpaceConfig::default()
+    };
+    // A pool of chainable segments from three small families.
+    let mut segments = Vec::new();
+    for (key, insn) in [
+        ("clc", &[0xf8][..]),
+        ("jz", &[0x74, 0x02][..]),
+        ("push", &[0x50][..]),
+    ] {
+        let space = explore_state_space(insn, &baseline, config);
+        segments.extend(to_chain_segments(&space, key));
+    }
+    assert!(segments.len() >= 4);
+
+    let built: Mutex<(Vec<u8>, u64)> = Mutex::new((Vec::new(), 0));
+    let property = |g: &mut Gen| {
+        let k = g.range(2..=4usize);
+        let picks: Vec<_> = (0..k).map(|_| g.choose(&segments).clone()).collect();
+        let prog = TestProgram::chain("prop/chain".into(), &picks).expect("chains assemble");
+        *built.lock().unwrap() = (prog.code.clone(), prog.path_id);
+        panic!("forced failure to capture the seed");
+    };
+
+    let fail = run_report("chain_replay", 16, &property).expect_err("property must fail");
+    let first = built.lock().unwrap().clone();
+    assert!(!first.0.is_empty());
+
+    std::env::set_var(SEED_ENV, format!("{:#x}", fail.seed));
+    std::env::set_var(SIZE_ENV, fail.size.to_string());
+    let replayed = run_report("chain_replay", 16, &property);
+    std::env::remove_var(SEED_ENV);
+    std::env::remove_var(SIZE_ENV);
+    replayed.expect_err("replay must reproduce the failure");
+
+    let second = built.lock().unwrap().clone();
+    assert_eq!(
+        first.0, second.0,
+        "replayed chain code must be byte-identical"
+    );
+    assert_eq!(first.1, second.1, "replayed chain path id must match");
+}
+
+/// The conformance corpus obeys the same thread-count-invariance contract
+/// as the pipeline: the rendered baseline documents — chain path ids, code
+/// hashes, segment provenance, and deviations — are byte-identical whether
+/// the corpus ran on 1, 2, or 8 worker threads.
+#[test]
+fn conformance_corpus_results_are_thread_count_invariant() {
+    use pokemu::harness::conformance::{build_corpus, program_json, run_conformance};
+
+    let _metrics = metrics_lock();
+    let corpus = build_corpus();
+    let render = |threads| {
+        let run = run_conformance(&corpus, threads);
+        assert!(run.quarantined.is_empty(), "{threads} threads");
+        assert_eq!(run.results.len(), corpus.len(), "{threads} threads");
+        run.results
+            .iter()
+            .map(program_json)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert_eq!(one, two, "1 vs 2 worker threads");
+    assert_eq!(one, eight, "1 vs 8 worker threads");
+}
+
 /// Forces an `rt::prop` failure, then replays it via `POKEMU_PROP_SEED` /
 /// `POKEMU_PROP_SIZE` and checks the generator draws byte-for-byte the same
 /// input that failed.
