@@ -1,0 +1,343 @@
+//! The gated bench trajectory: fixed-seed performance workloads whose
+//! results feed `pokemu-report bench --check`.
+//!
+//! ```text
+//! pokemu-bench [--only NAME] [--write-baselines DIR]
+//! ```
+//!
+//! Each workload runs a deterministic slice of the pipeline and writes
+//! `target/bench/<name>.perf.json` with two strictly separated sections:
+//!
+//! * `checked.counts` — machine-independent work counts (paths, queries,
+//!   executed guest instructions). These must match the committed baseline
+//!   **exactly**: any drift means the workload itself changed, which is a
+//!   bench-trajectory break, not noise.
+//! * `checked.ratios` — machine-dependent but *self-normalizing* timing
+//!   ratios (hifi/lofi throughput, with/without summaries, solver query
+//!   latency vs. an in-process calibration spin). The baseline stores a
+//!   `[min, max]` band wide enough for machine variance (×8 each way) and
+//!   narrow enough to catch order-of-magnitude regressions such as an
+//!   injected `solver.check` latency fault.
+//! * `info` — absolute nanoseconds, recorded for humans and trend plots,
+//!   never gated.
+//!
+//! The three workloads pin down the repo's two known inversions: the e3
+//! throughput inversion (the lo-fi DBT is *slower* than the hi-fi
+//! interpreter on short programs — `exec_throughput`), and the e7
+//! summarization inversion (summaries cost more than they save on `mov
+//! ds,ax` — `summary_crossover`); `pipeline_smoke` ties end-to-end wall
+//! time and per-query solver latency to a CPU-speed calibration loop.
+//!
+//! `--write-baselines DIR` refreshes the committed baselines from this
+//! machine's measurements (exact counts, ratio bands at measured/8 ..
+//! measured*8); `scripts/refresh-baseline.sh` drives it.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pokemu::explore::{explore_state_space, StateSpaceConfig};
+use pokemu::harness::{
+    baseline_snapshot, run_cross_validation, HiFiTarget, LofiTarget, PipelineConfig, Target,
+};
+use pokemu::lofi::Fidelity;
+use pokemu::testgen::TestProgram;
+use pokemu_rt::{metrics, prof, rng};
+
+/// Schema version stamped into every perf JSON and baseline.
+const SCHEMA: u64 = 1;
+
+/// Ratio baseline band half-width, as a multiplicative factor: a freshly
+/// written baseline accepts measured/8 .. measured*8.
+const RATIO_BAND: f64 = 8.0;
+
+/// One finished workload: its gated counts and ratios plus informational
+/// absolute timings.
+struct WorkloadResult {
+    name: &'static str,
+    counts: Vec<(&'static str, u64)>,
+    ratios: Vec<(&'static str, f64)>,
+    info: Vec<(&'static str, f64)>,
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+impl WorkloadResult {
+    fn perf_json(&self) -> String {
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let ratios: Vec<String> = self
+            .ratios
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{}", num(*v)))
+            .collect();
+        let info: Vec<String> = self
+            .info
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{}", num(*v)))
+            .collect();
+        format!(
+            "{{\"workload\":\"{}\",\"schema\":{SCHEMA},\"checked\":{{\"counts\":{{{}}},\
+             \"ratios\":{{{}}}}},\"info\":{{{}}}}}\n",
+            self.name,
+            counts.join(","),
+            ratios.join(","),
+            info.join(",")
+        )
+    }
+
+    fn baseline_json(&self) -> String {
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let ratios: Vec<String> = self
+            .ratios
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "\"{k}\":{{\"min\":{},\"max\":{}}}",
+                    num(v / RATIO_BAND),
+                    num(v * RATIO_BAND)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"workload\":\"{}\",\"schema\":{SCHEMA},\"counts\":{{{}}},\"ratios\":{{{}}}}}\n",
+            self.name,
+            counts.join(","),
+            ratios.join(",")
+        )
+    }
+}
+
+/// Calibration spin: `iters` SplitMix64 mixes, returning mean ns per mix.
+/// Solver-query latency is gated *relative to this*, so the band tracks
+/// the machine's single-thread speed instead of absolute nanoseconds.
+fn calibrate(iters: u64) -> f64 {
+    let t = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..iters {
+        x = rng::mix64(x ^ i);
+    }
+    black_box(x);
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// e3 slice: the same fixed programs through the hi-fi interpreter and the
+/// lo-fi DBT, interleaved. The `hifi_over_lofi` ratio is the throughput
+/// inversion observable (< 1 means the DBT is losing to the interpreter).
+fn exec_throughput() -> WorkloadResult {
+    // Single-instruction programs on top of the ~3.4k-instruction baseline
+    // initializer: enough work per run to dominate emulator setup.
+    let insns: [&[u8]; 4] = [
+        &[0x90],             // nop
+        &[0x40],             // inc eax
+        &[0x80, 0xc3, 0x01], // add bl, 1
+        &[0xf7, 0xd8],       // neg eax
+    ];
+    let progs: Vec<TestProgram> = insns
+        .iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            TestProgram::baseline_only(format!("throughput_{i}"), bytes)
+                .expect("fixed program builds")
+        })
+        .collect();
+    const REPS: u64 = 3;
+
+    let m0 = metrics::snapshot();
+    let mut hifi = HiFiTarget;
+    let mut lofi = LofiTarget {
+        fidelity: Fidelity::QEMU_LIKE,
+    };
+    let mut hifi_ns = 0u64;
+    let mut lofi_ns = 0u64;
+    for _ in 0..REPS {
+        for p in &progs {
+            let t = Instant::now();
+            black_box(hifi.run_program(p));
+            hifi_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            black_box(lofi.run_program(p));
+            lofi_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+    let delta = metrics::snapshot().since(&m0);
+
+    WorkloadResult {
+        name: "exec_throughput",
+        counts: vec![
+            ("programs", progs.len() as u64 * REPS * 2),
+            ("lofi_insns", delta.counter("lofi.insns")),
+            ("lofi_tb_hits", delta.counter("lofi.tb_lookup.hits")),
+            ("lofi_tb_misses", delta.counter("lofi.tb_lookup.misses")),
+        ],
+        ratios: vec![("hifi_over_lofi", hifi_ns as f64 / lofi_ns as f64)],
+        info: vec![("hifi_ns", hifi_ns as f64), ("lofi_ns", lofi_ns as f64)],
+    }
+}
+
+/// e7 slice: state-space exploration of `mov ds, ax` (`8e d8`) with and
+/// without summarization. `with_over_without` > 1 *is* the inversion the
+/// paper's summaries were supposed to prevent; the baseline band pins it
+/// so an accidental 10× further regression (or a fix!) is flagged.
+fn summary_crossover() -> WorkloadResult {
+    let baseline = baseline_snapshot();
+    let insn: &[u8] = &[0x8e, 0xd8];
+    let explore = |use_summaries: bool| {
+        let m0 = metrics::snapshot();
+        let t = Instant::now();
+        let space = explore_state_space(
+            insn,
+            &baseline,
+            StateSpaceConfig {
+                max_paths: 64,
+                use_summaries,
+                ..StateSpaceConfig::default()
+            },
+        );
+        let ns = t.elapsed().as_nanos() as u64;
+        let queries = metrics::snapshot().since(&m0).counter("solver.queries");
+        (space, ns, queries)
+    };
+    // Warm both paths once so solver/pool one-time setup is off the clock.
+    let _ = explore(true);
+    let (with, with_ns, with_queries) = explore(true);
+    let (without, without_ns, without_queries) = explore(false);
+
+    WorkloadResult {
+        name: "summary_crossover",
+        counts: vec![
+            ("paths_with", with.paths.len() as u64),
+            ("paths_without", without.paths.len() as u64),
+            ("queries_with", with_queries),
+            ("queries_without", without_queries),
+        ],
+        ratios: vec![("with_over_without", with_ns as f64 / without_ns as f64)],
+        info: vec![
+            ("with_ns", with_ns as f64),
+            ("without_ns", without_ns as f64),
+        ],
+    }
+}
+
+/// End-to-end smoke pipeline (the CI cross-validation config) with solver
+/// latency normalized by the calibration spin. An injected
+/// `solver.check:latency=…` fault inflates `solver_query_over_calib` by
+/// orders of magnitude — the bench gate's fault self-test keys on this.
+fn pipeline_smoke() -> WorkloadResult {
+    let calib_ns = calibrate(1 << 17);
+    let m0 = metrics::snapshot();
+    let t = Instant::now();
+    let cv = run_cross_validation(PipelineConfig {
+        first_byte: Some(0x80),
+        max_instructions: 2,
+        max_paths_per_insn: 16,
+        threads: 2,
+        ..PipelineConfig::default()
+    });
+    let total_ns = t.elapsed().as_nanos() as u64;
+    let delta = metrics::snapshot().since(&m0);
+
+    let queries = delta.counter("solver.queries").max(1);
+    let solver_ns: u64 = pokemu::solver::origin::ORIGINS
+        .iter()
+        .map(|o| delta.timer_ns(&format!("solver.ns.{o}")))
+        .sum();
+    let query_ns = solver_ns as f64 / queries as f64;
+
+    WorkloadResult {
+        name: "pipeline_smoke",
+        counts: vec![
+            ("unique_instructions", cv.unique_instructions as u64),
+            ("total_paths", cv.total_paths as u64),
+            ("fully_explored", cv.fully_explored as u64),
+            ("solver_queries", delta.counter("solver.queries")),
+        ],
+        ratios: vec![("solver_query_over_calib", query_ns / calib_ns)],
+        info: vec![
+            ("total_ns", total_ns as f64),
+            ("solver_ns", solver_ns as f64),
+            ("calib_ns_per_op", calib_ns),
+        ],
+    }
+}
+
+fn main() {
+    let mut only: Option<String> = None;
+    let mut write_baselines: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--only" => only = args.next(),
+            "--write-baselines" => write_baselines = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: pokemu-bench [--only NAME] [--write-baselines DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Timing attribution on: the per-origin solver timers feed the
+    // pipeline_smoke ratio. Counters stay deterministic regardless.
+    prof::set_enabled(true);
+
+    let bench_dir = pokemu_rt::bench::target_dir().join("bench");
+    std::fs::create_dir_all(&bench_dir).expect("create target/bench");
+
+    type Runner = fn() -> WorkloadResult;
+    let workloads: [(&str, Runner); 3] = [
+        ("exec_throughput", exec_throughput),
+        ("summary_crossover", summary_crossover),
+        ("pipeline_smoke", pipeline_smoke),
+    ];
+
+    let mut ran = 0usize;
+    for (name, run) in workloads {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let w = run();
+        let path = bench_dir.join(format!("{name}.perf.json"));
+        std::fs::write(&path, w.perf_json()).expect("write perf json");
+        let ratios: Vec<String> = w
+            .ratios
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.3}"))
+            .collect();
+        println!(
+            "[pokemu-bench] {name}: {} -> {}",
+            ratios.join(" "),
+            path.display()
+        );
+        if let Some(dir) = &write_baselines {
+            std::fs::create_dir_all(dir).expect("create baselines dir");
+            let bpath = dir.join(format!("{name}.json"));
+            std::fs::write(&bpath, w.baseline_json()).expect("write baseline");
+            println!("[pokemu-bench] baseline {}", bpath.display());
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "[pokemu-bench] no workload matched {:?}",
+            only.as_deref().unwrap_or("<none>")
+        );
+        std::process::exit(2);
+    }
+}

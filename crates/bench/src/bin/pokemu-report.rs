@@ -5,6 +5,8 @@
 //! pokemu-report coverage [--manifest PATH]
 //! pokemu-report diff --baseline PATH [--manifest PATH] [--check]
 //! pokemu-report conformance [--roms DIR] [--threads N] [--write]
+//! pokemu-report perf [--run NAME] [--dir PATH] [--top N] [--check]
+//! pokemu-report bench [--baselines DIR] [--bench-dir PATH] [--check]
 //! ```
 //!
 //! The default (no subcommand) mode reads the Chrome `trace_event` JSON and
@@ -17,6 +19,14 @@
 //! committed baseline manifest and, with `--check`, fails when coverage
 //! bits present in the baseline are missing from the run or the root-cause
 //! cluster set changed — the CI regression gate.
+//!
+//! `perf` is the performance-observatory view: the pipeline wall-time
+//! attribution table (with `--check` requiring ≥95% of `pipeline.ns.total`
+//! attributed to the four top-level stages), the lofi/hifi per-run
+//! throughput ratio, the hottest lo-fi translation blocks, and solver time
+//! split by query origin. `bench` gates the `pokemu-bench` workload
+//! results against the committed baselines in `tests/baselines/bench/`:
+//! counts must match exactly, ratios must stay inside their bands.
 //!
 //! Exit codes (all modes): 0 OK, 1 gate violation (the violating metric /
 //! map / cluster names are printed), 2 missing or unreadable input.
@@ -91,6 +101,7 @@ struct Report {
     spans: Vec<Span>,
     thread_names: BTreeMap<u64, String>,
     counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Hist>,
 }
 
@@ -146,6 +157,7 @@ fn load(dir: &std::path::Path, run: &str) -> Result<Report, String> {
     }
 
     let mut counters = BTreeMap::new();
+    let mut timers = BTreeMap::new();
     let mut histograms = BTreeMap::new();
     let mtext = std::fs::read_to_string(&metrics_path)
         .map_err(|e| format!("cannot read {}: {e}", metrics_path.display()))?;
@@ -182,7 +194,10 @@ fn load(dir: &std::path::Path, run: &str) -> Result<Report, String> {
                     },
                 );
             }
-            _ => {} // timers are wall-clock detail; the spans cover them
+            Some("timer") => {
+                timers.insert(name, v.get("ns").and_then(Value::as_u64).unwrap_or(0));
+            }
+            _ => {}
         }
     }
 
@@ -190,6 +205,7 @@ fn load(dir: &std::path::Path, run: &str) -> Result<Report, String> {
         spans,
         thread_names,
         counters,
+        timers,
         histograms,
     })
 }
@@ -331,10 +347,14 @@ impl Report {
             );
         }
         println!("== trace health");
-        println!(
-            "  trace.dropped_events {}",
-            self.counter("trace.dropped_events")
-        );
+        let dropped = self.counter("trace.dropped_events");
+        println!("  trace.dropped_events {dropped}");
+        if dropped > 0 {
+            println!(
+                "  WARNING: the trace ring dropped {dropped} event(s) — spans are missing \
+                 from this report; the stage breakdown above undercounts"
+            );
+        }
     }
 
     /// CI gate: all five Fig. 1 stages present, nothing dropped.
@@ -354,6 +374,403 @@ impl Report {
         }
         Ok(())
     }
+
+    fn timer(&self, name: &str) -> u64 {
+        self.timers.get(name).copied().unwrap_or(0)
+    }
+
+    /// The four top-level stage timers the attribution gate sums, as
+    /// `(label, ns)` pairs.
+    fn attribution(&self) -> [(&'static str, u64); 4] {
+        [
+            ("pipeline.ns.setup", self.timer("pipeline.ns.setup")),
+            (
+                "pipeline.ns.explore_insns",
+                self.timer("pipeline.ns.explore_insns"),
+            ),
+            ("pipeline.ns.parallel", self.timer("pipeline.ns.parallel")),
+            ("pipeline.ns.analyze", self.timer("pipeline.ns.analyze")),
+        ]
+    }
+
+    /// Mean `target.<name>.ns / target.<name>.runs` in nanoseconds.
+    fn target_mean_ns(&self, target: &str) -> f64 {
+        let runs = self.counter(&format!("target.{target}.runs"));
+        if runs == 0 {
+            return 0.0;
+        }
+        self.timer(&format!("target.{target}.ns")) as f64 / runs as f64
+    }
+
+    /// The performance-observatory view over one exported run.
+    fn print_perf(&self, hot: &[(u64, u64)], top: usize) {
+        let total = self.timer("pipeline.ns.total");
+        println!("== wall-time attribution (pipeline.ns.*)");
+        let mut attributed = 0u64;
+        for (name, ns) in self.attribution() {
+            attributed += ns;
+            println!(
+                "  {name:<28} {:>12}  {:5.1}% of total",
+                ms(ns as f64 / 1000.0),
+                pct(ns as f64, total as f64)
+            );
+        }
+        println!(
+            "  {:<28} {:>12}  ({:.1}% of pipeline.ns.total = {})",
+            "attributed",
+            ms(attributed as f64 / 1000.0),
+            pct(attributed as f64, total as f64),
+            ms(total as f64 / 1000.0)
+        );
+
+        println!("== emulator throughput (mean per run_program)");
+        let hifi = self.target_mean_ns("hifi");
+        let lofi = self.target_mean_ns("lofi");
+        let hw = self.target_mean_ns("hardware");
+        println!(
+            "  hifi {:>12}  lofi {:>12}  hardware {:>12}  ({} runs each side)",
+            ms(hifi / 1000.0),
+            ms(lofi / 1000.0),
+            ms(hw / 1000.0),
+            self.counter("target.lofi.runs")
+        );
+        if lofi > 0.0 {
+            let r = hifi / lofi;
+            println!(
+                "  hifi/lofi ratio {r:.3}  ({})",
+                if r < 1.0 {
+                    "e3 inversion: the lo-fi DBT is SLOWER than the hi-fi interpreter here"
+                } else {
+                    "lo-fi DBT faster, as the paper expects"
+                }
+            );
+        }
+
+        println!(
+            "== top {} hot lo-fi translation blocks (of {})",
+            top.min(hot.len()),
+            hot.len()
+        );
+        for (eip, execs) in hot.iter().take(top) {
+            println!("  eip {eip:#010x}  {execs} execs");
+        }
+
+        println!("== solver time by query origin");
+        for o in pokemu::solver::origin::ORIGINS {
+            let q = self.counter(&format!("solver.queries.{o}"));
+            let ns = self.timer(&format!("solver.ns.{o}"));
+            if q == 0 && ns == 0 {
+                continue;
+            }
+            let mean_us = if q == 0 {
+                0.0
+            } else {
+                ns as f64 / q as f64 / 1000.0
+            };
+            println!(
+                "  {o:<12} {q:>7} queries  {:>12}  mean {mean_us:.1} µs",
+                ms(ns as f64 / 1000.0)
+            );
+        }
+        let dropped = self.counter("trace.dropped_events");
+        if dropped > 0 {
+            println!("  WARNING: trace ring dropped {dropped} event(s); timings undercount");
+        }
+    }
+
+    /// `perf --check` gate: the four stage timers must cover ≥95% of the
+    /// pipeline's total wall time — anything less means a stage is running
+    /// outside the attribution (a new unattributed phase crept in).
+    fn check_perf(&self) -> Result<(), String> {
+        let total = self.timer("pipeline.ns.total");
+        if total == 0 {
+            return Err(
+                "no pipeline.ns.total timer in the metrics dump (re-run the pipeline under \
+                 POKEMU_TRACE=1 or POKEMU_PROF=1)"
+                    .to_owned(),
+            );
+        }
+        let attributed: u64 = self.attribution().iter().map(|&(_, ns)| ns).sum();
+        let frac = attributed as f64 / total as f64;
+        if frac < 0.95 {
+            return Err(format!(
+                "only {:.1}% of pipeline wall time attributed to stages (want ≥95%): \
+                 attributed {} of {}",
+                100.0 * frac,
+                ms(attributed as f64 / 1000.0),
+                ms(total as f64 / 1000.0)
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Parses `<run>.hot.jsonl` (the pipeline's hot-TB dump) into
+/// `(eip, execs)` rows; an absent file is an empty table, not an error —
+/// hot TBs are additive detail.
+fn load_hot_tbs(dir: &Path, run: &str) -> Vec<(u64, u64)> {
+    let Ok(text) = std::fs::read_to_string(dir.join(format!("{run}.hot.jsonl"))) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| {
+            let v = json::parse(l).ok()?;
+            if v.get("kind").and_then(Value::as_str) != Some("hot_tb") {
+                return None;
+            }
+            Some((
+                v.get("eip").and_then(Value::as_u64)?,
+                v.get("execs").and_then(Value::as_u64)?,
+            ))
+        })
+        .collect()
+}
+
+/// `pokemu-report perf`: wall-time attribution, throughput ratio, hot TBs,
+/// and solver origin split for one exported run.
+fn cmd_perf(args: &mut std::env::Args) -> ExitCode {
+    let mut run = "cross_validation".to_owned();
+    let mut dir = trace::trace_dir();
+    let mut top = 10usize;
+    let mut check = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--run" => run = args.next().unwrap_or_default(),
+            "--dir" => dir = args.next().unwrap_or_default().into(),
+            "--top" => top = args.next().and_then(|v| v.parse().ok()).unwrap_or(top),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: pokemu-report perf [--run NAME] [--dir PATH] [--top N] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        }
+    }
+    let report = match load(&dir, &run) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[pokemu-report] {e}");
+            return ExitCode::from(EXIT_MISSING_INPUT);
+        }
+    };
+    let hot = load_hot_tbs(&dir, &run);
+    report.print_perf(&hot, top);
+    if check {
+        if let Err(e) = report.check_perf() {
+            eprintln!("[pokemu-report] perf check FAILED: {e}");
+            return ExitCode::from(EXIT_VIOLATION);
+        }
+        println!("[pokemu-report] perf check OK: ≥95% of pipeline wall time attributed");
+    }
+    ExitCode::SUCCESS
+}
+
+/// One committed bench baseline: exact counts plus `[min, max]` ratio
+/// bands.
+struct BenchBaseline {
+    workload: String,
+    counts: Vec<(String, u64)>,
+    ratios: Vec<(String, f64, f64)>,
+}
+
+/// One `pokemu-bench` result file (`<workload>.perf.json`).
+struct BenchRun {
+    counts: BTreeMap<String, u64>,
+    ratios: BTreeMap<String, f64>,
+}
+
+fn load_bench_baseline(path: &Path) -> Result<BenchBaseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let workload = v
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{}: no workload name", path.display()))?
+        .to_owned();
+    let mut counts = Vec::new();
+    if let Some(Value::Obj(cs)) = v.get("counts") {
+        for (k, c) in cs {
+            counts.push((
+                k.clone(),
+                c.as_u64()
+                    .ok_or_else(|| format!("{}: count {k} not a number", path.display()))?,
+            ));
+        }
+    }
+    let mut ratios = Vec::new();
+    if let Some(Value::Obj(rs)) = v.get("ratios") {
+        for (k, band) in rs {
+            let (min, max) = match (
+                band.get("min").and_then(Value::as_f64),
+                band.get("max").and_then(Value::as_f64),
+            ) {
+                (Some(min), Some(max)) => (min, max),
+                _ => return Err(format!("{}: ratio {k} has no min/max band", path.display())),
+            };
+            ratios.push((k.clone(), min, max));
+        }
+    }
+    Ok(BenchBaseline {
+        workload,
+        counts,
+        ratios,
+    })
+}
+
+fn load_bench_run(path: &Path) -> Result<BenchRun, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run scripts/bench.sh first)",
+            path.display()
+        )
+    })?;
+    let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let checked = v
+        .get("checked")
+        .ok_or_else(|| format!("{}: no checked section", path.display()))?;
+    let mut counts = BTreeMap::new();
+    if let Some(Value::Obj(cs)) = checked.get("counts") {
+        for (k, c) in cs {
+            counts.insert(k.clone(), c.as_u64().unwrap_or(0));
+        }
+    }
+    let mut ratios = BTreeMap::new();
+    if let Some(Value::Obj(rs)) = checked.get("ratios") {
+        for (k, r) in rs {
+            ratios.insert(k.clone(), r.as_f64().unwrap_or(0.0));
+        }
+    }
+    Ok(BenchRun { counts, ratios })
+}
+
+/// The committed bench baselines: `<repo>/tests/baselines/bench`, located
+/// relative to the target directory like the conformance ROMs.
+fn default_bench_baselines_dir() -> PathBuf {
+    pokemu_rt::bench::target_dir()
+        .parent()
+        .map(|p| p.join("tests/baselines/bench"))
+        .unwrap_or_else(|| PathBuf::from("tests/baselines/bench"))
+}
+
+/// `pokemu-report bench`: gate `pokemu-bench` results against the
+/// committed baselines. Counts compare exactly; ratios must stay inside
+/// their baseline bands. Violations name the workload and field.
+fn cmd_bench(args: &mut std::env::Args) -> ExitCode {
+    let mut baselines = default_bench_baselines_dir();
+    let mut bench_dir = pokemu_rt::bench::target_dir().join("bench");
+    let mut check = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baselines" => baselines = args.next().unwrap_or_default().into(),
+            "--bench-dir" => bench_dir = args.next().unwrap_or_default().into(),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: pokemu-report bench [--baselines DIR] [--bench-dir PATH] [--check]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        }
+    }
+
+    let mut names: Vec<PathBuf> = match std::fs::read_dir(&baselines) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("[pokemu-report] cannot read {}: {e}", baselines.display());
+            return ExitCode::from(EXIT_MISSING_INPUT);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "[pokemu-report] no baselines under {} (run pokemu-bench --write-baselines)",
+            baselines.display()
+        );
+        return ExitCode::from(EXIT_MISSING_INPUT);
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    for bpath in &names {
+        let base = match load_bench_baseline(bpath) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[pokemu-report] {e}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        };
+        let rpath = bench_dir.join(format!("{}.perf.json", base.workload));
+        let run = match load_bench_run(&rpath) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[pokemu-report] {e}");
+                return ExitCode::from(EXIT_MISSING_INPUT);
+            }
+        };
+        println!("== bench {}", base.workload);
+        for (k, want) in &base.counts {
+            let got = run.counts.get(k).copied();
+            let ok = got == Some(*want);
+            println!(
+                "  count {k:<24} baseline {want:<10} run {:<10} {}",
+                got.map_or("<missing>".to_owned(), |g| g.to_string()),
+                if ok { "ok" } else { "MISMATCH" }
+            );
+            if !ok {
+                violations.push(format!(
+                    "{}: count {k} = {} (baseline {want})",
+                    base.workload,
+                    got.map_or("<missing>".to_owned(), |g| g.to_string())
+                ));
+            }
+        }
+        for (k, min, max) in &base.ratios {
+            let got = run.ratios.get(k).copied();
+            let ok = got.is_some_and(|g| g.is_finite() && g >= *min && g <= *max);
+            println!(
+                "  ratio {k:<24} band [{min:.4}, {max:.4}] run {:<12} {}",
+                got.map_or("<missing>".to_owned(), |g| format!("{g:.4}")),
+                if ok { "ok" } else { "OUT OF BAND" }
+            );
+            if !ok {
+                violations.push(format!(
+                    "{}: ratio {k} = {} outside [{min:.4}, {max:.4}]",
+                    base.workload,
+                    got.map_or("<missing>".to_owned(), |g| format!("{g:.4}"))
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "[pokemu-report] bench OK: {} workload(s) within baselines",
+            names.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("[pokemu-report] bench violation: {v}");
+    }
+    if check {
+        eprintln!(
+            "[pokemu-report] bench FAILED: {} violation(s)",
+            violations.len()
+        );
+        return ExitCode::from(EXIT_VIOLATION);
+    }
+    ExitCode::SUCCESS
 }
 
 /// The decoded pieces of one `manifest.json` the diff gate compares.
@@ -745,6 +1162,8 @@ fn main() -> ExitCode {
         Some("coverage") => return cmd_coverage(&mut args),
         Some("diff") => return cmd_diff(&mut args),
         Some("conformance") => return cmd_conformance(&mut args),
+        Some("perf") => return cmd_perf(&mut args),
+        Some("bench") => return cmd_bench(&mut args),
         _ => {}
     }
 
@@ -769,7 +1188,9 @@ fn main() -> ExitCode {
                     "usage: pokemu-report [--run NAME] [--dir PATH] [--top N] [--check]\n\
                      \x20      pokemu-report coverage [--manifest PATH]\n\
                      \x20      pokemu-report diff --baseline PATH [--manifest PATH] [--check]\n\
-                     \x20      pokemu-report conformance [--roms DIR] [--threads N] [--write]"
+                     \x20      pokemu-report conformance [--roms DIR] [--threads N] [--write]\n\
+                     \x20      pokemu-report perf [--run NAME] [--dir PATH] [--top N] [--check]\n\
+                     \x20      pokemu-report bench [--baselines DIR] [--bench-dir PATH] [--check]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -202,6 +202,10 @@ pub fn explore_state_space(
     config: StateSpaceConfig,
 ) -> StateSpace {
     let _span = pokemu_rt::span!("explore.state_space", insn = insn_hex(insn));
+    let _frame = pokemu_rt::prof::frame("explore.state_space");
+    // Solver queries issued anywhere below carry this instruction's hex in
+    // their provenance (flight notes, slow-query attribution).
+    let _insn_ctx = pokemu_solver::origin::insn_scoped(insn_hex(insn));
     let mut exec = Executor::with_config(ExploreConfig {
         max_paths: config.max_paths,
         deadline: config.deadline,
@@ -253,6 +257,8 @@ pub fn explore_state_space(
     let mut paths = Vec::with_capacity(result.paths.len());
     for p in &result.paths {
         let (model, mstats) = if config.minimize {
+            let _o = pokemu_solver::origin::scoped("minimize");
+            pokemu_solver::origin::set_path_id(p.path_id);
             minimize(exec.pool(), &p.path_condition, &p.model, &env)
         } else {
             (p.model.clone(), MinimizeStats::default())

@@ -23,7 +23,7 @@
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use pokemu_rt::{coverage, flight, metrics, pool, trace, QuarantineRecord, WorkerStats};
+use pokemu_rt::{coverage, flight, metrics, pool, prof, trace, QuarantineRecord, WorkerStats};
 
 use pokemu_explore::{
     explore_instruction_space, explore_state_space, InsnSpaceConfig, StateSpaceConfig,
@@ -264,22 +264,28 @@ pub fn generate_for_instruction(
         "stage.explore_states",
         || vec![("insn", name.to_owned())],
         || {
-            explore_state_space(
-                insn,
-                baseline,
-                StateSpaceConfig {
-                    max_paths,
-                    deadline,
-                    ..StateSpaceConfig::default()
-                },
-            )
+            prof::framed("stage.explore_states", || {
+                explore_state_space(
+                    insn,
+                    baseline,
+                    StateSpaceConfig {
+                        max_paths,
+                        deadline,
+                        ..StateSpaceConfig::default()
+                    },
+                )
+            })
         },
     );
     metrics::timer("stage.explore_states.ns").add(explore_d);
     let (programs, testgen_d) = trace::timed_with(
         "stage.testgen",
         || vec![("insn", name.to_owned())],
-        || pokemu_explore::to_test_programs(&space, name),
+        || {
+            prof::framed("stage.testgen", || {
+                pokemu_explore::to_test_programs(&space, name)
+            })
+        },
     );
     metrics::timer("stage.testgen.ns").add(testgen_d);
     InsnGeneration {
@@ -306,6 +312,24 @@ fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
+/// Writes the Lo-Fi hot-TB table (top 64 translation blocks by execution
+/// count, merged across all `Lofi` instances dropped so far) to
+/// `target/trace/<run>.hot.jsonl`, one `{"kind":"hot_tb",...}` object per
+/// line in descending-execution order.
+fn dump_hot_tbs(run: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = pokemu_rt::bench::target_dir().join("trace");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{run}.hot.jsonl"));
+    let mut body = String::new();
+    for (eip, execs) in pokemu_lofi::hot_tbs().into_iter().take(64) {
+        body.push_str(&format!(
+            "{{\"kind\":\"hot_tb\",\"eip\":{eip},\"execs\":{execs}}}\n"
+        ));
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// Runs the complete cross-validation pipeline.
 pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     if config.trace {
@@ -323,14 +347,19 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     let run_start = Instant::now();
     let metrics_start = metrics::snapshot();
     let run_span = pokemu_rt::span!("pipeline.run");
-    let (baseline, _) = trace::timed("pipeline.setup", baseline_snapshot);
+    let run_frame = prof::frame("pipeline.run");
+    let (baseline, setup_wall) = trace::timed("pipeline.setup", || {
+        prof::framed("pipeline.setup", baseline_snapshot)
+    });
 
     // Step 1: instruction-set exploration (Fig. 1 (1)).
     let (insn_space, explore_insns) = trace::timed("stage.explore_insns", || {
-        explore_instruction_space(InsnSpaceConfig {
-            first_byte: config.first_byte,
-            second_byte: config.second_byte,
-            ..InsnSpaceConfig::default()
+        prof::framed("stage.explore_insns", || {
+            explore_instruction_space(InsnSpaceConfig {
+                first_byte: config.first_byte,
+                second_byte: config.second_byte,
+                ..InsnSpaceConfig::default()
+            })
         })
     });
     let mut reps = insn_space.classes;
@@ -351,10 +380,15 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     let run_deadline = config.run_deadline.map(|d| run_start + d);
     let results: Vec<OnceLock<ItemOutcome>> = (0..reps.len()).map(|_| OnceLock::new()).collect();
     let (pool_run, parallel_wall) = trace::timed("stage.parallel", || {
+        // The main thread's frame covers dispatch + wait; each worker's
+        // per-item frames start their own stacks on the worker threads and
+        // are merged when the pool flushes them at exit.
+        let _pf = prof::frame("stage.parallel");
         pool::for_each_budgeted(config.threads, reps.len(), run_deadline, |i| {
             let rep = &reps[i];
             let name = rep.class.to_string();
             let _insn_span = pokemu_rt::span!("pipeline.instruction", insn = name);
+            let _insn_frame = prof::frame("pipeline.instruction");
             flight::note("pipeline.instruction", || {
                 format!("{name} ({})", hex(&rep.bytes))
             });
@@ -379,6 +413,7 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
                 "stage.execute",
                 || vec![("insn", name.clone())],
                 || {
+                    let _ef = prof::frame("stage.execute");
                     gen.programs
                         .iter()
                         .map(|p| {
@@ -415,6 +450,7 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     // classes are sorted by exploration), so counters and clusters are
     // deterministic regardless of worker scheduling.
     let (solver_queries, analyze) = trace::timed("stage.analyze", || {
+        let _af = prof::frame("stage.analyze");
         let mut solver_queries = 0u64;
         for slot in results {
             // Quarantined or skipped items have no outcome; their absence
@@ -461,6 +497,19 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
         solver_queries
     });
     drop(run_span);
+    drop(run_frame);
+
+    // Pipeline-level wall timers: the attribution table `pokemu-report
+    // perf` checks against (setup + explore_insns + parallel + analyze
+    // must cover ≥95% of total). Timer metrics are nondeterministic by
+    // contract, so they are only fed when a timing consumer is active.
+    if prof::timing_enabled() {
+        metrics::timer("pipeline.ns.setup").add(setup_wall);
+        metrics::timer("pipeline.ns.explore_insns").add(explore_insns);
+        metrics::timer("pipeline.ns.parallel").add(parallel_wall);
+        metrics::timer("pipeline.ns.analyze").add(analyze);
+        metrics::timer("pipeline.ns.total").add(run_start.elapsed());
+    }
 
     let delta = metrics::snapshot().since(&metrics_start);
     out.stages = StageStats {
@@ -477,11 +526,23 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     };
 
     // Under POKEMU_TRACE=1, every finished run leaves an openable trace
-    // behind (overwritten per run, like the bench JSON files).
+    // behind (overwritten per run, like the bench JSON files), plus the
+    // hot-TB table `pokemu-report perf` folds into its attribution view.
     if trace::env_enabled() {
         match trace::export("cross_validation") {
             Ok(paths) => eprintln!("[trace] exported {}", paths.trace_json.display()),
             Err(e) => eprintln!("[trace] export failed: {e}"),
+        }
+        match dump_hot_tbs("cross_validation") {
+            Ok(path) => eprintln!("[trace] hot TBs {}", path.display()),
+            Err(e) => eprintln!("[trace] hot-TB dump failed: {e}"),
+        }
+    }
+    // Under POKEMU_PROF=1, the collapsed-stack profile lands beside it.
+    if prof::env_enabled() {
+        match prof::export("cross_validation") {
+            Ok(path) => eprintln!("[prof] exported {}", path.display()),
+            Err(e) => eprintln!("[prof] export failed: {e}"),
         }
     }
 

@@ -2,11 +2,14 @@
 //! behind one interface that boots a test program, runs it to halt or
 //! exception, and snapshots the final state.
 
+use std::time::Instant;
+
 use pokemu_hifi::HiFi;
 use pokemu_hwref::{TrapReason, Vmm};
 use pokemu_isa::snapshot::Snapshot;
 use pokemu_isa::state::{attrs, Seg};
 use pokemu_lofi::{Fidelity, Lofi};
+use pokemu_rt::metrics;
 use pokemu_symx::Dom;
 use pokemu_testgen::{boot_state, layout, TestProgram};
 
@@ -19,6 +22,40 @@ pub trait Target {
     fn name(&self) -> &'static str;
     /// Boots the program, runs it, and snapshots the result.
     fn run_program(&mut self, prog: &TestProgram) -> Snapshot;
+}
+
+/// Bills one target execution: a deterministic run counter
+/// (`target.<name>.runs`) plus, when timing is on, wall time in
+/// `target.<name>.ns`. The per-run mean `ns / runs` is what
+/// `pokemu-report perf` turns into the lofi/hifi throughput ratio — the
+/// direct observable for the e3 inversion (DBT slower than the
+/// interpreter on short programs).
+fn billed<F: FnOnce() -> Snapshot>(name: &'static str, run: F) -> Snapshot {
+    let (runs, ns, frame) = match name {
+        "hifi" => (
+            metrics::counter("target.hifi.runs"),
+            metrics::timer("target.hifi.ns"),
+            "target.hifi",
+        ),
+        "lofi" => (
+            metrics::counter("target.lofi.runs"),
+            metrics::timer("target.lofi.ns"),
+            "target.lofi",
+        ),
+        _ => (
+            metrics::counter("target.hardware.runs"),
+            metrics::timer("target.hardware.ns"),
+            "target.hardware",
+        ),
+    };
+    runs.inc();
+    let _f = pokemu_rt::prof::frame(frame);
+    let t = pokemu_rt::prof::timing_enabled().then(Instant::now);
+    let snap = run();
+    if let Some(t) = t {
+        ns.add(t.elapsed());
+    }
+    snap
 }
 
 /// The Hi-Fi emulator as a target.
@@ -50,14 +87,16 @@ impl Target for HiFiTarget {
     }
 
     fn run_program(&mut self, prog: &TestProgram) -> Snapshot {
-        let mut emu = HiFi::new();
-        {
-            let (d, m) = emu.parts_mut();
-            apply_boot(d, m);
-        }
-        emu.load_image(layout::CODE_BASE, &prog.code);
-        let exit = emu.run(STEP_BUDGET);
-        emu.snapshot(exit)
+        billed("hifi", || {
+            let mut emu = HiFi::new();
+            {
+                let (d, m) = emu.parts_mut();
+                apply_boot(d, m);
+            }
+            emu.load_image(layout::CODE_BASE, &prog.code);
+            let exit = emu.run(STEP_BUDGET);
+            emu.snapshot(exit)
+        })
     }
 }
 
@@ -67,32 +106,35 @@ impl Target for LofiTarget {
     }
 
     fn run_program(&mut self, prog: &TestProgram) -> Snapshot {
-        let mut emu = Lofi::new(self.fidelity);
-        let boot = boot_state();
-        {
-            let m = emu.machine_mut();
-            m.cr0 = boot.cr0;
-            m.eip = boot.eip;
-            m.gpr[4] = boot.esp;
-            for i in 0..6 {
-                let typ: u16 = if i == 1 { 0xb } else { 0x3 };
-                m.segs[i] = pokemu_lofi::state::LofiSeg {
-                    selector: 0x8,
-                    base: 0,
-                    limit: 0xffff_ffff,
-                    attrs: typ
-                        | (1 << attrs::S as u16)
-                        | (1 << attrs::P as u16)
-                        | (1 << attrs::DB as u16)
-                        | (1 << attrs::G as u16),
-                };
+        let fidelity = self.fidelity;
+        billed("lofi", move || {
+            let mut emu = Lofi::new(fidelity);
+            let boot = boot_state();
+            {
+                let m = emu.machine_mut();
+                m.cr0 = boot.cr0;
+                m.eip = boot.eip;
+                m.gpr[4] = boot.esp;
+                for i in 0..6 {
+                    let typ: u16 = if i == 1 { 0xb } else { 0x3 };
+                    m.segs[i] = pokemu_lofi::state::LofiSeg {
+                        selector: 0x8,
+                        base: 0,
+                        limit: 0xffff_ffff,
+                        attrs: typ
+                            | (1 << attrs::S as u16)
+                            | (1 << attrs::P as u16)
+                            | (1 << attrs::DB as u16)
+                            | (1 << attrs::G as u16),
+                    };
+                }
             }
-        }
-        emu.load_image(layout::CODE_BASE, &prog.code);
-        // Block budget: blocks hold up to 8 instructions; use the same
-        // step-scale budget.
-        let exit = emu.run(STEP_BUDGET);
-        emu.snapshot(exit)
+            emu.load_image(layout::CODE_BASE, &prog.code);
+            // Block budget: blocks hold up to 8 instructions; use the same
+            // step-scale budget.
+            let exit = emu.run(STEP_BUDGET);
+            emu.snapshot(exit)
+        })
     }
 }
 
@@ -102,15 +144,17 @@ impl Target for HardwareTarget {
     }
 
     fn run_program(&mut self, prog: &TestProgram) -> Snapshot {
-        let mut vmm = Vmm::new();
-        {
-            let (d, m) = vmm.parts_mut();
-            apply_boot(d, m);
-        }
-        vmm.load_image(layout::CODE_BASE, &prog.code);
-        let reason = vmm.run(STEP_BUDGET);
-        let _ = matches!(reason, TrapReason::Halt);
-        vmm.snapshot(reason)
+        billed("hardware", || {
+            let mut vmm = Vmm::new();
+            {
+                let (d, m) = vmm.parts_mut();
+                apply_boot(d, m);
+            }
+            vmm.load_image(layout::CODE_BASE, &prog.code);
+            let reason = vmm.run(STEP_BUDGET);
+            let _ = matches!(reason, TrapReason::Halt);
+            vmm.snapshot(reason)
+        })
     }
 }
 

@@ -35,9 +35,11 @@ pub mod translate;
 pub mod uop;
 
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use pokemu_isa::snapshot::{Outcome, SegSnapshot, Snapshot};
 use pokemu_isa::state::Exception;
+use pokemu_rt::metrics;
 
 pub use exec::{Core, TbExit};
 pub use state::{Fidelity, LofiMachine};
@@ -82,6 +84,80 @@ pub struct LofiStats {
     pub insns: u64,
 }
 
+/// Pre-resolved metric handles for the dispatch loop: one relaxed atomic
+/// add per event, resolved once at construction (the hot-path idiom the
+/// solver and symx engine use). All of these are *counters* — pure
+/// functions of the executed programs — so they stay inside the
+/// deterministic-replay byte-identity contract.
+#[derive(Debug, Clone, Copy)]
+struct LofiMetrics {
+    /// Dispatches served from the TB cache.
+    tb_hits: metrics::Counter,
+    /// Dispatches that had to translate (cache miss).
+    tb_misses: metrics::Counter,
+    /// TBs invalidated by guest writes.
+    invalidations: metrics::Counter,
+    /// Guest instructions executed (per-block counts).
+    insns: metrics::Counter,
+    /// Block exits that chained to the next TB.
+    exit_next: metrics::Counter,
+    /// Block exits via `hlt`.
+    exit_halt: metrics::Counter,
+    /// Block exits via guest exception.
+    exit_fault: metrics::Counter,
+    /// `run` calls that returned [`RunExit::Halted`].
+    run_halted: metrics::Counter,
+    /// `run` calls that returned [`RunExit::Exception`].
+    run_exception: metrics::Counter,
+    /// `run` calls that exhausted the block budget.
+    run_step_limit: metrics::Counter,
+}
+
+impl LofiMetrics {
+    fn new() -> Self {
+        LofiMetrics {
+            tb_hits: metrics::counter("lofi.tb_lookup.hits"),
+            tb_misses: metrics::counter("lofi.tb_lookup.misses"),
+            invalidations: metrics::counter("lofi.tb.invalidations"),
+            insns: metrics::counter("lofi.insns"),
+            exit_next: metrics::counter("lofi.tb_exit.next"),
+            exit_halt: metrics::counter("lofi.tb_exit.halt"),
+            exit_fault: metrics::counter("lofi.tb_exit.fault"),
+            run_halted: metrics::counter("lofi.run_exit.halted"),
+            run_exception: metrics::counter("lofi.run_exit.exception"),
+            run_step_limit: metrics::counter("lofi.run_exit.step_limit"),
+        }
+    }
+}
+
+/// Process-global per-TB execution counts, merged from each [`Lofi`]
+/// instance when it drops. Keyed by TB entry `eip`; the pipeline dumps the
+/// top entries next to the trace export so `pokemu-report perf` can rank
+/// hot translation blocks.
+fn hot_registry() -> &'static Mutex<HashMap<u32, u64>> {
+    static HOT: OnceLock<Mutex<HashMap<u32, u64>>> = OnceLock::new();
+    HOT.get_or_init(Mutex::default)
+}
+
+/// Per-TB execution counts accumulated so far, hottest first (count
+/// descending, entry `eip` ascending on ties, so the order is
+/// deterministic for deterministic workloads). Instances still alive have
+/// not merged yet — [`Lofi::run`] data lands here on drop.
+pub fn hot_tbs() -> Vec<(u32, u64)> {
+    let reg = hot_registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut v: Vec<(u32, u64)> = reg.iter().map(|(&eip, &n)| (eip, n)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Clears the hot-TB table (bench/test hook for delta measurements).
+pub fn reset_hot_tbs() {
+    hot_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
 /// The Lo-Fi dynamic binary translator.
 ///
 /// # Examples
@@ -102,8 +178,24 @@ pub struct Lofi {
     tbs: HashMap<u32, Tb>,
     tbs_by_page: HashMap<u32, Vec<u32>>,
     stats: LofiStats,
+    metrics: LofiMetrics,
+    /// Executions per TB entry point for this instance; merged into the
+    /// process-global [`hot_tbs`] table on drop.
+    tb_execs: HashMap<u32, u64>,
     /// Maximum guest instructions per translation block.
     pub max_tb_insns: u32,
+}
+
+impl Drop for Lofi {
+    fn drop(&mut self) {
+        if self.tb_execs.is_empty() {
+            return;
+        }
+        let mut reg = hot_registry().lock().unwrap_or_else(|e| e.into_inner());
+        for (&eip, &n) in &self.tb_execs {
+            *reg.entry(eip).or_default() += n;
+        }
+    }
 }
 
 impl Default for Lofi {
@@ -120,6 +212,8 @@ impl Lofi {
             tbs: HashMap::new(),
             tbs_by_page: HashMap::new(),
             stats: LofiStats::default(),
+            metrics: LofiMetrics::new(),
+            tb_execs: HashMap::new(),
             max_tb_insns: 8,
         }
     }
@@ -173,6 +267,7 @@ impl Lofi {
         for _ in 0..max_blocks {
             let eip = self.core.m.eip;
             if !self.tbs.contains_key(&eip) {
+                self.metrics.tb_misses.inc();
                 let tb = match translate::translate_block(
                     &mut self.core.m,
                     &mut self.core.tlb,
@@ -181,7 +276,10 @@ impl Lofi {
                     self.max_tb_insns,
                 ) {
                     Ok(tb) => tb,
-                    Err(e) => return RunExit::Exception(e),
+                    Err(e) => {
+                        self.metrics.run_exception.inc();
+                        return RunExit::Exception(e);
+                    }
                 };
                 self.stats.translations += 1;
                 for page in (tb.start >> 12)..=(tb.end.wrapping_sub(1) >> 12) {
@@ -190,17 +288,36 @@ impl Lofi {
                 self.tbs.insert(eip, tb);
             } else {
                 self.stats.cache_hits += 1;
+                self.metrics.tb_hits.inc();
             }
             let tb = self.tbs.get(&eip).expect("just inserted").clone();
             self.stats.insns += tb.insns as u64;
+            self.metrics.insns.add(tb.insns as u64);
+            *self.tb_execs.entry(eip).or_default() += 1;
             let exit = exec::exec_tb(&mut self.core, &tb);
+            let invalidated_before = self.stats.invalidations;
             self.invalidate_dirty();
+            self.metrics
+                .invalidations
+                .add(self.stats.invalidations - invalidated_before);
             match exit {
-                TbExit::Next(next) => self.core.m.eip = next,
-                TbExit::Halt => return RunExit::Halted,
-                TbExit::Fault(e) => return RunExit::Exception(e),
+                TbExit::Next(next) => {
+                    self.metrics.exit_next.inc();
+                    self.core.m.eip = next;
+                }
+                TbExit::Halt => {
+                    self.metrics.exit_halt.inc();
+                    self.metrics.run_halted.inc();
+                    return RunExit::Halted;
+                }
+                TbExit::Fault(e) => {
+                    self.metrics.exit_fault.inc();
+                    self.metrics.run_exception.inc();
+                    return RunExit::Exception(e);
+                }
             }
         }
+        self.metrics.run_step_limit.inc();
         RunExit::StepLimit
     }
 
@@ -289,6 +406,43 @@ mod tests {
         assert_eq!(exit, RunExit::Halted);
         assert_eq!(emu.machine().gpr[1], 0);
         assert!(emu.stats().cache_hits >= 3, "loop body must be cached");
+    }
+
+    #[test]
+    fn dispatch_loop_attribution_counters_and_hot_tbs() {
+        let before = pokemu_rt::metrics::snapshot();
+        let loop_head = 0x1005u32;
+        {
+            let mut emu = Lofi::new(Fidelity::QEMU_LIKE);
+            flat(&mut emu);
+            // mov ecx, 5; L: dec ecx; jnz L; hlt — the loop body re-enters
+            // the same TB, so lookups hit and the TB gets hot.
+            emu.load_image(0x1000, &[0xb9, 5, 0, 0, 0, 0x49, 0x75, 0xfd, 0xf4]);
+            assert_eq!(emu.run(64), RunExit::Halted);
+            let local = emu.tb_execs.clone();
+            assert!(
+                local.get(&loop_head).copied().unwrap_or(0) >= 4,
+                "loop TB must dominate execution: {local:?}"
+            );
+        } // drop merges into the global hot table
+        let delta = pokemu_rt::metrics::snapshot().since(&before);
+        // Other tests run concurrently against the same process-global
+        // counters, so these are floors, not exact counts.
+        assert!(delta.counter("lofi.tb_lookup.hits") >= 3);
+        assert!(delta.counter("lofi.tb_lookup.misses") >= 2);
+        assert!(delta.counter("lofi.tb_exit.halt") >= 1);
+        assert!(delta.counter("lofi.run_exit.halted") >= 1);
+        assert!(delta.counter("lofi.insns") >= 10);
+        let hot = hot_tbs();
+        let loop_count = hot
+            .iter()
+            .find(|&&(eip, _)| eip == loop_head)
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        assert!(
+            loop_count >= 4,
+            "dropped instance must merge its TB counts: {hot:?}"
+        );
     }
 
     #[test]

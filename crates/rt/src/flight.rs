@@ -19,7 +19,10 @@
 //! the run-manifest directory, and the pipeline itself dumps
 //! `flightrec-deviations.jsonl` whenever cross-validation finds a
 //! deviation. Disable with `POKEMU_FLIGHT=0` (the per-event cost is then a
-//! single relaxed atomic load).
+//! single relaxed atomic load); size the rings with `POKEMU_FLIGHT_CAP=<n>`
+//! when 256 events per thread is not enough history. Overwrites of
+//! not-yet-dumped events are counted in [`dropped`] so a too-small ring is
+//! diagnosable.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -31,6 +34,11 @@ use crate::json;
 /// Environment variable that disables flight recording when set to `0`.
 pub const FLIGHT_ENV: &str = "POKEMU_FLIGHT";
 
+/// Environment variable overriding the per-thread ring capacity (events;
+/// parsed once at the first ring creation, minimum 1). Rings created after
+/// an explicit [`set_thread_capacity`] call use that value instead.
+pub const FLIGHT_CAP_ENV: &str = "POKEMU_FLIGHT_CAP";
+
 /// Default per-thread ring capacity.
 pub const DEFAULT_CAPACITY: usize = 256;
 
@@ -40,7 +48,44 @@ const STATE_OFF: u8 = 2;
 
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 static SEQ: AtomicU64 = AtomicU64::new(0);
-static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+/// 0 = not yet resolved (lazy env check); any other value is the capacity.
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+/// Events overwritten before anyone snapshotted them, process-wide. Kept as
+/// a plain atomic rather than a metrics counter: drop totals depend on how
+/// items land on threads, so a counter would break the thread-count
+/// byte-identity contract golden runs rely on.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Parses a [`FLIGHT_CAP_ENV`] value: a positive integer event count.
+fn parse_capacity(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+#[cold]
+fn init_capacity_from_env() -> usize {
+    let cap = std::env::var(FLIGHT_CAP_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_capacity)
+        .unwrap_or(DEFAULT_CAPACITY);
+    CAPACITY.store(cap, Ordering::Relaxed);
+    cap
+}
+
+/// The capacity new rings are created with: an explicit
+/// [`set_thread_capacity`] override, else `POKEMU_FLIGHT_CAP`, else
+/// [`DEFAULT_CAPACITY`].
+pub fn current_capacity() -> usize {
+    match CAPACITY.load(Ordering::Relaxed) {
+        0 => init_capacity_from_env(),
+        cap => cap,
+    }
+}
+
+/// Events overwritten (dropped from a full ring) so far, process-wide.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
 
 #[cold]
 fn init_from_env() -> bool {
@@ -65,8 +110,8 @@ pub fn set_enabled(on: bool) {
 }
 
 /// Sets the ring capacity used by threads that have not recorded yet
-/// (existing rings keep their size). Test hook; the default is
-/// [`DEFAULT_CAPACITY`].
+/// (existing rings keep their size), overriding both the default and any
+/// `POKEMU_FLIGHT_CAP` value.
 pub fn set_thread_capacity(cap: usize) {
     CAPACITY.store(cap.max(1), Ordering::Relaxed);
 }
@@ -99,6 +144,9 @@ impl Ring {
         if self.events.len() < self.cap {
             self.events.push(ev);
         } else {
+            // Overwriting loses the oldest retained event; make the loss
+            // visible so "the ring was too small" is diagnosable post-hoc.
+            DROPPED.fetch_add(1, Ordering::Relaxed);
             self.events[self.next] = ev;
         }
         self.next = (self.next + 1) % self.cap;
@@ -115,7 +163,7 @@ thread_local! {
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         let ring = Arc::new(Mutex::new(Ring {
             tid: reg.len() as u64,
-            cap: CAPACITY.load(Ordering::Relaxed),
+            cap: current_capacity(),
             events: Vec::new(),
             next: 0,
         }));
@@ -295,6 +343,58 @@ mod tests {
             format!("ev{}", DEFAULT_CAPACITY + 9)
         );
         assert!(evs.iter().all(|e| e.detail != "ev0"));
+    }
+
+    #[test]
+    fn capacity_env_values_parse() {
+        assert_eq!(parse_capacity("64"), Some(64));
+        assert_eq!(parse_capacity(" 1024 "), Some(1024));
+        assert_eq!(
+            parse_capacity("0"),
+            None,
+            "a zero-capacity ring is not a ring"
+        );
+        assert_eq!(parse_capacity(""), None);
+        assert_eq!(parse_capacity("lots"), None);
+        assert_eq!(parse_capacity("-4"), None);
+    }
+
+    #[test]
+    fn over_capacity_burst_keeps_newest_and_counts_drops() {
+        let _g = serialize();
+        set_enabled(true);
+        clear();
+        set_thread_capacity(8);
+        let before = dropped();
+        // A fresh thread creates its ring at the configured capacity, the
+        // same path a POKEMU_FLIGHT_CAP-sized ring takes.
+        std::thread::spawn(|| {
+            for i in 0..20 {
+                note("flight.test.cap", move || format!("burst{i}"));
+            }
+        })
+        .join()
+        .unwrap();
+        set_thread_capacity(DEFAULT_CAPACITY);
+        let evs: Vec<_> = snapshot()
+            .into_iter()
+            .filter(|e| e.name == "flight.test.cap")
+            .collect();
+        assert_eq!(evs.len(), 8, "ring retains exactly its capacity");
+        let details: Vec<_> = evs.iter().map(|e| e.detail.as_str()).collect();
+        let newest: Vec<String> = (12..20).map(|i| format!("burst{i}")).collect();
+        assert_eq!(
+            details,
+            newest.iter().map(String::as_str).collect::<Vec<_>>(),
+            "the newest events survive, oldest are overwritten"
+        );
+        // 20 events into an 8-slot ring overwrite 12. Other test threads may
+        // add drops of their own concurrently, so this is a floor.
+        assert!(
+            dropped() - before >= 12,
+            "12 overwrites must be counted, saw {}",
+            dropped() - before
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! coverage gate), [`flight`] (a per-thread ring buffer of recent events,
 //! dumped post-hoc on panic or cross-validation deviation), and [`fault`]
 //! (named deterministic fault-injection points, armed via `POKEMU_FAULT`,
-//! that chaos-test the quarantine and budget layers).
+//! that chaos-test the quarantine and budget layers), and [`prof`] (an
+//! instrumenting self-profiler: per-thread scoped frames aggregated by
+//! stack path, exported as collapsed-stack `.folded` files for flamegraph
+//! tooling, one relaxed load per site when `POKEMU_PROF` is off).
 //!
 //! Determinism is the point, not just offline builds: the same seeds produce
 //! the same exploration choices, the same random-baseline tests (E5), and
@@ -34,6 +37,7 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod prof;
 pub mod prop;
 pub mod rng;
 pub mod trace;
@@ -43,6 +47,7 @@ pub use fault::FaultKind;
 pub use flight::FlightEvent;
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Timer};
 pub use pool::{for_each, PoolRun, QuarantineRecord, WorkerStats};
+pub use prof::{FrameGuard, FrameStat};
 pub use prop::Gen;
 pub use rng::{mix64, Rng, SplitMix64};
 pub use trace::{SpanEvent, SpanGuard, TracePaths};

@@ -320,6 +320,88 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Parses a [`MetricsSnapshot::to_jsonl`] dump back into a snapshot —
+    /// the read half of the `<run>.metrics.jsonl` interchange, going
+    /// through [`crate::json`].
+    ///
+    /// Histogram buckets are reconstructed from their `[lo, count]` pairs
+    /// via [`bucket_of`], so a parsed snapshot re-renders byte-identically
+    /// through `to_jsonl`. Numbers travel as JSON numbers (`f64`): values
+    /// up to 2^53 round-trip exactly, and `u64::MAX` survives via the
+    /// saturating cast; other >2^53 values may lose low bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<MetricsSnapshot, String> {
+        use crate::json::Value;
+        let mut snap = MetricsSnapshot::default();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("metrics line {}: {what}: {line}", idx + 1);
+            let v = crate::json::parse(line).map_err(|e| err(&e.to_string()))?;
+            let name = v
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err("missing name"))?
+                .to_owned();
+            match v.get("kind").and_then(Value::as_str) {
+                Some("counter") => {
+                    let value = v
+                        .get("value")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| err("counter without value"))?;
+                    snap.counters.insert(name, value);
+                }
+                Some("timer") => {
+                    let ns = v
+                        .get("ns")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| err("timer without ns"))?;
+                    snap.timers.insert(name, ns);
+                }
+                Some("histogram") => {
+                    let count = v
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| err("histogram without count"))?;
+                    let sum = v
+                        .get("sum")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| err("histogram without sum"))?;
+                    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+                    for pair in v
+                        .get("buckets")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| err("histogram without buckets"))?
+                    {
+                        let pair = pair.as_array().ok_or_else(|| err("bucket not a pair"))?;
+                        let (lo, c) = match (
+                            pair.first().and_then(Value::as_u64),
+                            pair.get(1).and_then(Value::as_u64),
+                        ) {
+                            (Some(lo), Some(c)) if pair.len() == 2 => (lo, c),
+                            _ => return Err(err("bucket not a [lo, count] pair")),
+                        };
+                        buckets[bucket_of(lo)] = c;
+                    }
+                    snap.histograms.insert(
+                        name,
+                        HistogramSnapshot {
+                            count,
+                            sum,
+                            buckets,
+                        },
+                    );
+                }
+                _ => return Err(err("unknown metric kind")),
+            }
+        }
+        Ok(snap)
+    }
 }
 
 /// Copies the current value of every registered metric.
@@ -450,6 +532,77 @@ mod tests {
         c.add(3);
         let d = snapshot().since(&before);
         assert_eq!(d.counter("test.metrics.diff_scoped"), 3);
+    }
+
+    #[test]
+    fn histogram_extreme_values_land_in_the_edge_buckets() {
+        let h = histogram("test.metrics.hist_edges");
+        let before = snapshot();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let d = snapshot().since(&before);
+        let hs = &d.histograms["test.metrics.hist_edges"];
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.buckets[0], 1, "0 lands in the zero bucket");
+        assert_eq!(hs.buckets[1], 1, "1 lands in bucket 1 (2^0..2^1-1)");
+        assert_eq!(hs.buckets[64], 1, "u64::MAX lands in the top bucket");
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 3, "no stray buckets");
+        // The sum accumulator wraps (0 + 1 + u64::MAX ≡ 0 mod 2^64); the
+        // histogram stays usable, it just cannot report an exact mean for
+        // near-overflow totals.
+        assert_eq!(hs.sum, 0);
+    }
+
+    #[test]
+    fn snapshot_diff_round_trips_byte_identically_through_json() {
+        let c = counter("test.metrics.rt_c");
+        let t = timer("test.metrics.rt_t");
+        let h = histogram("test.metrics.rt_h");
+        let before = snapshot();
+        c.add(7);
+        t.add_ns(123_456_789);
+        for v in [0u64, 1, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let delta = snapshot().since(&before);
+        let text = delta.to_jsonl();
+        let parsed = MetricsSnapshot::from_jsonl(&text).expect("dump parses");
+        // The parsed snapshot is semantically equal (bucket vectors are
+        // rebuilt at full width) and re-renders to the exact same bytes.
+        assert_eq!(parsed, delta);
+        assert_eq!(
+            parsed.to_jsonl(),
+            text,
+            "render → parse → render is a fixpoint"
+        );
+        // The edge values survived the trip through rt::json's f64 numbers.
+        let hs = &parsed.histograms["test.metrics.rt_h"];
+        assert_eq!(hs.buckets[0], 1);
+        assert_eq!(hs.buckets[1], 1);
+        assert_eq!(hs.buckets[64], 1);
+        assert_eq!(parsed.counter("test.metrics.rt_c"), 7);
+        assert_eq!(parsed.timer_ns("test.metrics.rt_t"), 123_456_789);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_lines() {
+        assert!(MetricsSnapshot::from_jsonl("not json").is_err());
+        assert!(
+            MetricsSnapshot::from_jsonl("{\"kind\":\"gauge\",\"name\":\"x\",\"value\":1}")
+                .unwrap_err()
+                .contains("unknown metric kind")
+        );
+        assert!(
+            MetricsSnapshot::from_jsonl("{\"kind\":\"counter\",\"value\":1}")
+                .unwrap_err()
+                .contains("missing name")
+        );
+        assert_eq!(
+            MetricsSnapshot::from_jsonl("\n  \n").unwrap(),
+            MetricsSnapshot::default(),
+            "blank lines are skipped"
+        );
     }
 
     #[test]

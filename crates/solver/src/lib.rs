@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod blast;
+pub mod origin;
 pub mod sat;
 pub mod solver;
 pub mod term;

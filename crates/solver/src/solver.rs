@@ -13,8 +13,14 @@ use std::time::{Duration, Instant};
 use pokemu_rt::{fault, flight, metrics};
 
 use crate::blast::Blaster;
+use crate::origin;
 use crate::sat::{Lit, SatResult, SatStats, SolveBudget};
 use crate::term::{TermId, TermPool, VarId};
+
+/// Queries at least this slow leave a provenance note in the flight
+/// recorder (origin + instruction + path id), so a post-hoc dump explains
+/// where a latency cliff came from without a traced re-run.
+const SLOW_QUERY_NOTE: Duration = Duration::from_millis(10);
 
 /// Env var: per-query wall deadline in milliseconds for every
 /// [`BvSolver::check`] in the process (`POKEMU_SOLVER_DEADLINE_MS=50`).
@@ -221,8 +227,18 @@ impl BvSolver {
     ///
     /// Panics if an assumption term does not have width 1.
     pub fn check(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
+        // Latency is only sampled while profiling or tracing is on: the
+        // extra clock reads are pure overhead otherwise. Sampling starts
+        // *before* fault injection so an armed latency fault shows up in
+        // the attribution (that visibility is what the bench-gate self-test
+        // relies on).
+        let t = pokemu_rt::prof::timing_enabled().then(Instant::now);
+        let _f = pokemu_rt::prof::frame("solver.check");
+        let query_origin = origin::current();
+        let (origin_queries, origin_ns) = origin::handles(query_origin);
         self.stats.queries += 1;
         self.metrics.queries.inc();
+        origin_queries.inc();
         // The deadline starts ticking before fault injection so an armed
         // latency fault consumes the real budget.
         let budget = self.effective_budget();
@@ -237,13 +253,21 @@ impl BvSolver {
             if fault::inject("solver.check", key) {
                 self.stats.unknown += 1;
                 self.metrics.unknown.inc();
-                flight::note("solver.unknown", || format!("fault key={key}"));
+                flight::note("solver.unknown", || {
+                    format!(
+                        "fault key={key} origin={query_origin} insn={} path={:016x}",
+                        origin::current_insn(),
+                        origin::current_path_id()
+                    )
+                });
+                if let Some(t) = t {
+                    let el = t.elapsed();
+                    self.metrics.query_ns.record_duration(el);
+                    origin_ns.add(el);
+                }
                 return SatResult::Unknown;
             }
         }
-        // Latency is only sampled while tracing is on: the extra clock reads
-        // are pure overhead otherwise.
-        let t = pokemu_rt::trace::enabled().then(Instant::now);
         let lits: Vec<Lit> = assumptions
             .iter()
             .map(|&t| self.blaster.blast_bool(pool, t))
@@ -251,7 +275,19 @@ impl BvSolver {
         let budget_ref = budget.is_bounded().then_some(&budget);
         let r = self.blaster.sat().solve_budgeted(&lits, budget_ref);
         if let Some(t) = t {
-            self.metrics.query_ns.record_duration(t.elapsed());
+            let el = t.elapsed();
+            self.metrics.query_ns.record_duration(el);
+            origin_ns.add(el);
+            if el >= SLOW_QUERY_NOTE {
+                flight::note("solver.slow", || {
+                    format!(
+                        "origin={query_origin} insn={} path={:016x} ms={}",
+                        origin::current_insn(),
+                        origin::current_path_id(),
+                        el.as_millis()
+                    )
+                });
+            }
         }
         match r {
             SatResult::Sat => {
@@ -265,7 +301,13 @@ impl BvSolver {
             SatResult::Unknown => {
                 self.stats.unknown += 1;
                 self.metrics.unknown.inc();
-                flight::note("solver.unknown", || "budget exhausted".to_string());
+                flight::note("solver.unknown", || {
+                    format!(
+                        "budget exhausted origin={query_origin} insn={} path={:016x}",
+                        origin::current_insn(),
+                        origin::current_path_id()
+                    )
+                });
             }
         }
         self.stats.sat_core = self.blaster.sat_ref().stats();

@@ -15,9 +15,10 @@
 //! simple (§3.1.2, "Decision Tree").
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use pokemu_rt::{coverage, metrics, Rng};
-use pokemu_solver::{BvSolver, Model, SatResult, TermId, TermPool, VarId, Width};
+use pokemu_solver::{origin, BvSolver, Model, SatResult, TermId, TermPool, VarId, Width};
 
 use crate::dom::Dom;
 use crate::summary::Summary;
@@ -149,7 +150,34 @@ pub struct Executor {
     branches_this_path: usize,
     dead: bool,
     exploring: bool,
+    /// `true` while a [`Executor::try_summarize`] sub-exploration runs, so
+    /// solver queries issued on its behalf bill to the `summary` origin
+    /// rather than to feasibility/model — exactly the attribution needed to
+    /// diagnose the e7 inversion (summaries slower than no summaries).
+    in_summary: bool,
     metrics: EngineMetrics,
+}
+
+/// Accumulates wall time into a timer on drop; inert (no clock reads) when
+/// neither profiling nor tracing wants latency attribution.
+struct TimeGuard {
+    start: Option<Instant>,
+    timer: metrics::Timer,
+}
+
+impl Drop for TimeGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.timer.add(start.elapsed());
+        }
+    }
+}
+
+fn timed(timer: metrics::Timer) -> TimeGuard {
+    TimeGuard {
+        start: pokemu_rt::prof::timing_enabled().then(Instant::now),
+        timer,
+    }
 }
 
 /// Registry handles for the engine's counters (`symx.` namespace), resolved
@@ -165,6 +193,16 @@ struct EngineMetrics {
     unknown_branches: metrics::Counter,
     infeasible_paths: metrics::Counter,
     deadline_trips: metrics::Counter,
+    /// Wall time in [`Dom::branch`] (fork bookkeeping + feasibility
+    /// resolution); fed only when timing is on.
+    fork_ns: metrics::Timer,
+    /// Wall time resolving branch feasibility (the prune decision),
+    /// a subset of `fork_ns`.
+    prune_ns: metrics::Timer,
+    /// Wall time constructing and applying path summaries.
+    summary_ns: metrics::Timer,
+    /// Wall time extracting path-end models.
+    model_ns: metrics::Timer,
     /// Path-id coverage bitmap (`coverage.path`): one bit per explored
     /// path-decision hash, modulo the map size.
     path_cov: coverage::CoverageMap,
@@ -185,6 +223,10 @@ impl EngineMetrics {
             unknown_branches: metrics::counter("symx.unknown_branches"),
             infeasible_paths: metrics::counter("symx.infeasible_paths"),
             deadline_trips: metrics::counter("symx.deadline_trips"),
+            fork_ns: metrics::timer("symx.ns.fork"),
+            prune_ns: metrics::timer("symx.ns.prune"),
+            summary_ns: metrics::timer("symx.ns.summary"),
+            model_ns: metrics::timer("symx.ns.model"),
             path_cov: coverage::map("coverage.path", PATH_COVERAGE_BITS),
         }
     }
@@ -232,6 +274,7 @@ impl Executor {
             branches_this_path: 0,
             dead: false,
             exploring: false,
+            in_summary: false,
             metrics: EngineMetrics::new(),
         }
     }
@@ -313,6 +356,13 @@ impl Executor {
     }
 
     fn check_feasible(&mut self, extra: TermId) -> bool {
+        let _t = timed(self.metrics.prune_ns);
+        let _o = origin::scoped(if self.in_summary {
+            "summary"
+        } else {
+            "feasibility"
+        });
+        origin::set_path_id(self.path_hash);
         let mut assumptions = self.path.clone();
         assumptions.push(extra);
         match self.solver.check(&self.pool, &assumptions) {
@@ -344,6 +394,7 @@ impl Executor {
             "explore is not reentrant; use summarize for nested runs"
         );
         self.exploring = true;
+        let _f = pokemu_rt::prof::frame("symx.explore");
         self.tree = DecisionTree::new();
         self.pick_cache.clear();
         let mut paths = Vec::new();
@@ -386,7 +437,13 @@ impl Executor {
                 continue;
             }
             self.tree.finish_at(self.cur);
-            let Some(model) = self.solver.check_with_model(&self.pool, &self.path) else {
+            let model_result = {
+                let _t = timed(self.metrics.model_ns);
+                let _o = origin::scoped(if self.in_summary { "summary" } else { "model" });
+                origin::set_path_id(self.path_hash);
+                self.solver.check_with_model(&self.pool, &self.path)
+            };
+            let Some(model) = model_result else {
                 // The replayed path condition is unsatisfiable (or the query
                 // degraded to Unknown). Historically a hard panic; one bad
                 // path summary must not sink the exploration — the node is
@@ -452,6 +509,8 @@ impl Executor {
         inputs: &[(Width, &str)],
         mut f: impl FnMut(&mut Executor, &[TermId]) -> Vec<TermId>,
     ) -> Option<Summary> {
+        let _pf = pokemu_rt::prof::frame("symx.summarize");
+        let _t = timed(self.metrics.summary_ns);
         // Run on a scratch tree so the caller's exploration is untouched,
         // with a generous path budget independent of the caller's cap: the
         // whole point of a summary is to fold a multi-path computation, so
@@ -461,8 +520,10 @@ impl Executor {
         let saved_path = std::mem::take(&mut self.path);
         let saved_exploring = self.exploring;
         let saved_config = self.config;
+        let saved_in_summary = self.in_summary;
         self.config.max_paths = self.config.max_paths.max(65_536);
         self.exploring = false;
+        self.in_summary = true;
 
         let formals: Vec<TermId> = inputs
             .iter()
@@ -495,6 +556,7 @@ impl Executor {
         self.path = saved_path;
         self.exploring = saved_exploring;
         self.config = saved_config;
+        self.in_summary = saved_in_summary;
         summary
     }
 
@@ -620,6 +682,7 @@ impl Dom for Executor {
             self.kill_path_at_current_node();
             return false;
         }
+        let _t = timed(self.metrics.fork_ns);
         self.stats.branches += 1;
         self.metrics.forks.inc();
         self.branches_this_path += 1;
@@ -706,7 +769,12 @@ impl Dom for Executor {
             self.path.push(eq);
             return cached;
         }
-        let model = match self.solver.check_with_model(&self.pool, &self.path) {
+        let model = {
+            let _o = origin::scoped("pick");
+            origin::set_path_id(self.path_hash);
+            self.solver.check_with_model(&self.pool, &self.path)
+        };
+        let model = match model {
             Some(m) => m,
             None => {
                 // Path condition became unsatisfiable through assumptions —
@@ -740,6 +808,7 @@ impl Dom for Executor {
     fn summary_hook(&mut self, key: &'static str, args: &[TermId]) -> Option<Vec<TermId>> {
         let summary = self.summaries.get(key)?.clone();
         self.metrics.summary_hits.inc();
+        let _t = timed(self.metrics.summary_ns);
         Some(summary.apply(&mut self.pool, args))
     }
 
@@ -904,6 +973,54 @@ mod tests {
         });
         assert!(!r.complete);
         assert_eq!(r.paths.len(), 4);
+    }
+
+    #[test]
+    fn solver_queries_bill_to_their_origin() {
+        let before = pokemu_rt::metrics::snapshot();
+        let mut exec = Executor::new();
+        let r = exec.explore(|e| {
+            let x = e.fresh_input(8, "x");
+            let k = e.constant(8, 7);
+            let c = e.eq(x, k);
+            e.branch(c, "x==7")
+        });
+        assert!(r.complete);
+        let d = pokemu_rt::metrics::snapshot().since(&before);
+        // Two paths: each needs feasibility resolution at the branch and a
+        // path-end model. Floors, not exact counts — sibling tests in this
+        // binary hit the same process-global counters concurrently.
+        assert!(
+            d.counter("solver.queries.feasibility") >= 2,
+            "branch feasibility checks must bill to the feasibility origin"
+        );
+        assert!(
+            d.counter("solver.queries.model") >= 2,
+            "path-end model extraction must bill to the model origin"
+        );
+    }
+
+    #[test]
+    fn summary_queries_bill_to_the_summary_origin() {
+        let before = pokemu_rt::metrics::snapshot();
+        let mut exec = Executor::new();
+        let s = exec.try_summarize(&[(8, "a")], |e, f| {
+            let z = e.constant(8, 0);
+            let c = e.eq(f[0], z);
+            let one = e.constant(8, 1);
+            let two = e.constant(8, 2);
+            vec![if e.branch(c, "a==0") { one } else { two }]
+        });
+        assert!(s.is_some());
+        let d = pokemu_rt::metrics::snapshot().since(&before);
+        assert!(
+            d.counter("solver.queries.summary") >= 2,
+            "sub-exploration queries must bill to the summary origin, got:\n{:?}",
+            d.counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("solver.queries"))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the gated bench trajectory: every pokemu-bench workload under fixed
+# seeds, writing target/bench/<workload>.perf.json, then gates the results
+# against the committed baselines in tests/baselines/bench/.
+#
+#   scripts/bench.sh            run workloads + gate
+#   scripts/bench.sh --no-check run workloads only
+#
+# Exit codes follow pokemu-report bench: 0 OK, 1 a workload left its
+# baseline band (the violation names it), 2 missing input.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=1
+[ "${1:-}" = "--no-check" ] && CHECK=0
+
+cargo build --release --offline -p pokemu-bench
+
+echo "== bench workloads"
+cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench
+
+if [ "$CHECK" = 1 ]; then
+  echo "== bench gate"
+  cargo run --release --offline -q -p pokemu-bench --bin pokemu-report -- bench --check
+fi

@@ -16,15 +16,21 @@ cargo test --workspace --offline -q
 echo "== smoke bench (pokemu_rt::bench end to end)"
 cargo run --release --offline -p pokemu-bench --bin smoke-bench
 
-echo "== trace smoke (pokemu_rt::trace end to end)"
-# Re-run the smoke bench with tracing + the run manifest on: the pipeline
-# exports a Chrome trace + metrics dump and writes
-# target/run/smoke/manifest.json; pokemu-report --check gates on the trace
-# parsing, all five Fig.1 stage spans being present, and zero dropped
-# trace events.
-POKEMU_TRACE=1 POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=smoke \
+echo "== trace + prof smoke (pokemu_rt::{trace,prof} end to end)"
+# Re-run the smoke bench with tracing, profiling, and the run manifest on:
+# the pipeline exports a Chrome trace + metrics dump, a collapsed-stack
+# .folded profile, the hot-TB table, and target/run/smoke/manifest.json.
+# pokemu-report --check gates on the trace parsing, all five Fig.1 stage
+# spans being present, and zero dropped trace events; perf --check gates on
+# ≥95% of pipeline wall time being attributed to the four stage timers.
+POKEMU_TRACE=1 POKEMU_PROF=1 POKEMU_RUN_MANIFEST=1 POKEMU_RUN_ID=smoke \
     cargo run --release --offline -p pokemu-bench --bin smoke-bench
 cargo run --release --offline -p pokemu-bench --bin pokemu-report -- --check --top 5
+test -s target/prof/cross_validation.folded \
+    || { echo "ERROR: POKEMU_PROF=1 run left no .folded profile" >&2; exit 1; }
+
+echo "== perf attribution gate"
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- perf --check --top 5
 
 echo "== coverage gate (run manifest vs committed baseline)"
 # The smoke run above emitted a manifest with the run's coverage bitmaps
@@ -115,5 +121,34 @@ grep -q 'robustness.quarantined grew' target/run/chaos/diff.out \
     || { echo "ERROR: gate failed for the wrong reason:" >&2; \
          cat target/run/chaos/diff.out >&2; exit 1; }
 echo "diff gate correctly rejected the quarantined run"
+
+echo "== bench gate (fixed-seed workloads vs committed baselines)"
+# Run every pokemu-bench workload and gate against tests/baselines/bench/:
+# work counts must match exactly, timing ratios must stay inside their
+# bands. Refresh with scripts/refresh-baseline.sh after intentional change.
+cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- bench --check
+
+echo "== bench gate self-test (an injected solver latency must fail the gate)"
+# Re-run only the pipeline_smoke workload with a 50 ms latency fault armed
+# on every solver.check call: the solver-query-vs-calibration ratio blows
+# its band by orders of magnitude, and the gate must fail naming the
+# workload. The other workloads' result files are untouched and stay valid.
+mkdir -p target/bench
+POKEMU_FAULT='solver.check:latency=50:*' \
+    cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
+    --only pipeline_smoke >/dev/null
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    bench --check >target/bench/selftest.out 2>&1; then
+    echo "ERROR: bench gate passed a run with injected solver latency" >&2
+    exit 1
+fi
+grep -q 'pipeline_smoke: ratio solver_query_over_calib' target/bench/selftest.out \
+    || { echo "ERROR: bench gate failed without naming the workload:" >&2; \
+         cat target/bench/selftest.out >&2; exit 1; }
+# Restore a clean result so a re-entrant CI run starts from a passing state.
+cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
+    --only pipeline_smoke >/dev/null
+echo "bench gate correctly rejected the latency-faulted run"
 
 echo "CI OK"

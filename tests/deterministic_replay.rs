@@ -113,6 +113,64 @@ fn metrics_counters_are_byte_identical_across_thread_counts() {
     assert_eq!(one, eight, "1-thread vs 8-thread counter dumps differ");
 }
 
+/// The self-profiler must be a pure observer: running the identical
+/// pipeline with profiling off on 2 threads and profiling *on* on 8
+/// threads must produce byte-identical counter dumps. This extends the
+/// byte-identity contract to the performance-observatory counters — the
+/// per-origin solver billing, the lo-fi dispatch-loop attribution, and the
+/// per-target run counts all live in the deterministic counter namespace,
+/// while every wall-time sample the profiler takes lands in timers, which
+/// the contract excludes by construction.
+#[test]
+fn profiler_does_not_perturb_counter_determinism() {
+    let _metrics = metrics_lock();
+    let run = |prof: bool, threads: usize| {
+        pokemu_rt::prof::set_enabled(prof);
+        let before = pokemu_rt::metrics::snapshot();
+        let cv = run_cross_validation(PipelineConfig {
+            first_byte: Some(0x80),
+            max_paths_per_insn: 64,
+            threads,
+            ..PipelineConfig::default()
+        });
+        pokemu_rt::prof::set_enabled(false);
+        assert!(cv.total_paths > 0);
+        pokemu_rt::metrics::snapshot()
+            .since(&before)
+            .to_jsonl()
+            .lines()
+            .filter(|l| l.starts_with("{\"kind\":\"counter\""))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            })
+    };
+    let off = run(false, 2);
+    let on = run(true, 8);
+    // The new attribution counters are part of the deterministic surface.
+    for name in [
+        "solver.queries.feasibility",
+        "solver.queries.model",
+        "lofi.tb_lookup.hits",
+        "lofi.insns",
+        "target.lofi.runs",
+        "target.hifi.runs",
+    ] {
+        assert!(
+            off.contains(&format!("\"name\":\"{name}\"")),
+            "{name} missing from counter dump:\n{off}"
+        );
+    }
+    assert_eq!(
+        off, on,
+        "profiling (or the thread count under it) changed a counter"
+    );
+    // Drain the profile the 8-thread run accumulated so later prof tests
+    // in the process start clean.
+    let _ = pokemu_rt::prof::take();
+}
+
 /// Coverage bitmaps and the manifest's deviation list obey the same
 /// thread-count-invariance contract as the counters: the accounting the CI
 /// gate compares against a committed baseline must not depend on worker
