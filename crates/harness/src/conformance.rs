@@ -348,6 +348,11 @@ fn hex(bytes: &[u8]) -> String {
 
 /// Runs one corpus program on all three targets and records its result.
 pub fn result_of(prog: &TestProgram, fidelity: Fidelity) -> ProgramResult {
+    // Scope hot-TB attribution to this program: corpus programs run back
+    // to back (and in parallel), and without a per-program scope their TB
+    // execution counts would bleed into each other and into the default
+    // scope the pipeline dumps for `pokemu-report perf`.
+    let _hot = pokemu_lofi::hot_scope(fnv1a(prog.name.as_bytes()));
     let case = run_on_all_targets(prog, fidelity);
     let mut deviations = Vec::new();
     for (target, snap) in [("lofi", &case.lofi), ("hifi", &case.hifi)] {

@@ -68,17 +68,32 @@ impl Core {
 }
 
 /// Why block execution stopped.
+///
+/// The three `Continue`-shaped variants are distinguished by *how* the
+/// successor EIP was produced, because that is what decides whether the
+/// dispatch layer may chain the edge (DESIGN.md §11): a successor that is
+/// a translation-time constant always leads to the same block, so a
+/// per-TB successor slot can cache the link; a computed successor can
+/// change between executions and must go through the full lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TbExit {
-    /// Continue at this EIP.
+    /// Continue at this EIP, which was computed at run time (indirect
+    /// jump, return, helper-driven transfer). Never chained.
     Next(u32),
+    /// A direct branch was taken: the target is a translation-time
+    /// constant (chainable via the block's *taken* slot).
+    Taken(u32),
+    /// A direct branch fell through, or the block ran off its end: the
+    /// successor is the translation-time block end (chainable via the
+    /// block's *not-taken* slot).
+    Fallthrough(u32),
     /// The CPU halted.
     Halt,
     /// An exception was raised (EIP points at the faulting instruction).
     Fault(Exception),
 }
 
-fn mask(size: u8) -> u32 {
+pub(crate) fn mask(size: u8) -> u32 {
     if size == 4 {
         u32::MAX
     } else {
@@ -86,7 +101,7 @@ fn mask(size: u8) -> u32 {
     }
 }
 
-fn read_reg(m: &LofiMachine, reg: u8, size: u8) -> u32 {
+pub(crate) fn read_reg(m: &LofiMachine, reg: u8, size: u8) -> u32 {
     match size {
         4 => m.gpr[reg as usize],
         2 => m.gpr[reg as usize] & 0xffff,
@@ -101,7 +116,7 @@ fn read_reg(m: &LofiMachine, reg: u8, size: u8) -> u32 {
     }
 }
 
-fn write_reg(m: &mut LofiMachine, reg: u8, size: u8, val: u32) {
+pub(crate) fn write_reg(m: &mut LofiMachine, reg: u8, size: u8, val: u32) {
     match size {
         4 => m.gpr[reg as usize] = val,
         2 => {
@@ -119,6 +134,95 @@ fn write_reg(m: &mut LofiMachine, reg: u8, size: u8, val: u32) {
         }
         _ => unreachable!(),
     }
+}
+
+/// Evaluates a masked ALU operation exactly as `Uop::Alu` commits it.
+/// Shared between the µop interpreter and the IR-skip fast path so the
+/// two execution strategies cannot drift.
+pub(crate) fn alu_eval(op: AluKind, size: u8, a: u32, b: u32) -> u32 {
+    let (x, y) = (a & mask(size), b & mask(size));
+    let w = size * 8;
+    let v = match op {
+        AluKind::Add => x.wrapping_add(y),
+        AluKind::Sub => x.wrapping_sub(y),
+        AluKind::And => x & y,
+        AluKind::Or => x | y,
+        AluKind::Xor => x ^ y,
+        AluKind::Shl => {
+            let s = y & 31;
+            if s >= w as u32 {
+                0
+            } else {
+                x << s
+            }
+        }
+        AluKind::Shr => {
+            let s = y & 31;
+            if s >= w as u32 {
+                0
+            } else {
+                x >> s
+            }
+        }
+        AluKind::Sar => {
+            let s = y & 31;
+            let sx = ((x << (32 - w)) as i32) >> (32 - w);
+            if s >= w as u32 {
+                (sx >> 31) as u32
+            } else {
+                (sx >> s) as u32
+            }
+        }
+    };
+    v & mask(size)
+}
+
+/// Commits a lazy condition-code update exactly as `Uop::SetCc` does.
+/// Shared between the µop interpreter and the IR-skip fast path.
+pub(crate) fn set_cc(m: &mut LofiMachine, cc: CcKind, size: u8, dst: u32, src1: u32, src2: u32) {
+    let op = match cc {
+        CcKind::Logic => CcOp::Logic,
+        CcKind::Add => CcOp::Add,
+        CcKind::Adc => CcOp::Adc,
+        CcKind::Sub => CcOp::Sub,
+        CcKind::Sbb => CcOp::Sbb,
+        CcKind::Inc => CcOp::Inc,
+        CcKind::Dec => CcOp::Dec,
+    };
+    // Carry/borrow-in for Adc/Sbb: the CF *before* this update, which the
+    // translator read via GetCf into temp `a` for Inc/Dec, and which we
+    // re-derive here for Adc/Sbb.
+    let src3 = match cc {
+        CcKind::Adc | CcKind::Sbb => (m.eflags() >> fl::CF) & 1,
+        _ => 0,
+    };
+    m.cc = CcState {
+        op,
+        size,
+        dst,
+        src1,
+        src2,
+        src3,
+    };
+}
+
+/// Evaluates an x86 condition code against the lazy flag state, computing
+/// only the flags the condition consumes (the status bits live entirely
+/// in `m.cc`, so this agrees with `cond_eval(m.eflags(), cc)` while
+/// skipping the full six-flag materialization on the hot branch path).
+pub(crate) fn cond_eval_lazy(m: &LofiMachine, cc: u8) -> bool {
+    let c = &m.cc;
+    let base = match cc >> 1 {
+        0 => c.of() != 0,
+        1 => c.cf() != 0,
+        2 => c.zf() != 0,
+        3 => c.cf() != 0 || c.zf() != 0,
+        4 => c.sf() != 0,
+        5 => c.pf() != 0,
+        6 => c.sf() != c.of(),
+        _ => c.zf() != 0 || (c.sf() != c.of()),
+    };
+    base ^ (cc & 1 == 1)
 }
 
 /// Evaluates an x86 condition code against materialized EFLAGS.
@@ -184,41 +288,7 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                 a,
                 b,
             } => {
-                let (x, y) = (t[a as usize] & mask(size), t[b as usize] & mask(size));
-                let w = size * 8;
-                let v = match op {
-                    AluKind::Add => x.wrapping_add(y),
-                    AluKind::Sub => x.wrapping_sub(y),
-                    AluKind::And => x & y,
-                    AluKind::Or => x | y,
-                    AluKind::Xor => x ^ y,
-                    AluKind::Shl => {
-                        let s = y & 31;
-                        if s >= w as u32 {
-                            0
-                        } else {
-                            x << s
-                        }
-                    }
-                    AluKind::Shr => {
-                        let s = y & 31;
-                        if s >= w as u32 {
-                            0
-                        } else {
-                            x >> s
-                        }
-                    }
-                    AluKind::Sar => {
-                        let s = y & 31;
-                        let sx = ((x << (32 - w)) as i32) >> (32 - w);
-                        if s >= w as u32 {
-                            (sx >> 31) as u32
-                        } else {
-                            (sx >> s) as u32
-                        }
-                    }
-                };
-                t[dst as usize] = v & mask(size);
+                t[dst as usize] = alu_eval(op, size, t[a as usize], t[b as usize]);
             }
             Uop::Not { dst, a, size } => t[dst as usize] = !t[a as usize] & mask(size),
             Uop::Neg { dst, a, size } => {
@@ -281,36 +351,18 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                 dst,
                 a,
                 b,
-            } => {
-                let op = match cc {
-                    CcKind::Logic => CcOp::Logic,
-                    CcKind::Add => CcOp::Add,
-                    CcKind::Adc => CcOp::Adc,
-                    CcKind::Sub => CcOp::Sub,
-                    CcKind::Sbb => CcOp::Sbb,
-                    CcKind::Inc => CcOp::Inc,
-                    CcKind::Dec => CcOp::Dec,
-                };
-                // Carry/borrow-in for Adc/Sbb: the CF *before* this update,
-                // which the translator read via GetCf into temp `a` for
-                // Inc/Dec, and which we re-derive here for Adc/Sbb.
-                let src3 = match cc {
-                    CcKind::Adc | CcKind::Sbb => (core.m.eflags() >> fl::CF) & 1,
-                    _ => 0,
-                };
-                core.m.cc = CcState {
-                    op,
-                    size,
-                    dst: t[dst as usize],
-                    src1: t[a as usize],
-                    src2: t[b as usize],
-                    src3,
-                };
-            }
+            } => set_cc(
+                &mut core.m,
+                cc,
+                size,
+                t[dst as usize],
+                t[a as usize],
+                t[b as usize],
+            ),
             Uop::GetEflags { dst } => t[dst as usize] = core.m.eflags(),
-            Uop::GetCf { dst } => t[dst as usize] = (core.m.eflags() >> fl::CF) & 1,
+            Uop::GetCf { dst } => t[dst as usize] = core.m.cc.cf(),
             Uop::TestCc { dst, cc } => {
-                t[dst as usize] = cond_eval(core.m.eflags(), cc) as u32;
+                t[dst as usize] = cond_eval_lazy(&core.m, cc) as u32;
             }
             Uop::Select { dst, cond, a, b } => {
                 t[dst as usize] = if t[cond as usize] != 0 {
@@ -320,18 +372,18 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
                 };
             }
             Uop::SetEip { target } => return TbExit::Next(t[target as usize]),
-            Uop::SetEipImm { target } => return TbExit::Next(target),
+            Uop::SetEipImm { target } => return TbExit::Taken(target),
             Uop::BrCc { cc, target } => {
-                if cond_eval(core.m.eflags(), cc) {
-                    return TbExit::Next(target);
+                if cond_eval_lazy(&core.m, cc) {
+                    return TbExit::Taken(target);
                 }
-                return TbExit::Next(core.m.eip);
+                return TbExit::Fallthrough(core.m.eip);
             }
             Uop::BrCondT { cond, target } => {
                 if t[cond as usize] != 0 {
-                    return TbExit::Next(target);
+                    return TbExit::Taken(target);
                 }
-                return TbExit::Next(core.m.eip);
+                return TbExit::Fallthrough(core.m.eip);
             }
             Uop::SetCarry { mode } => {
                 let f = core.m.eflags();
@@ -375,7 +427,7 @@ pub fn exec_tb(core: &mut Core, tb: &Tb) -> TbExit {
             },
         }
     }
-    TbExit::Next(core.m.eip)
+    TbExit::Fallthrough(core.m.eip)
 }
 
 enum HelperExit {

@@ -1,0 +1,427 @@
+//! IR-skip fast path: a specialized pre-decoded form for straight-line
+//! ALU/mov-class blocks (after "Boosting Cross-Architectural Emulation
+//! Performance by Foregoing the Intermediate Representation Model",
+//! PAPERS.md).
+//!
+//! A translation block is *IR-skip eligible* when every micro-op in it is
+//! provably non-faulting (register/temp-only: no loads, stores, helpers,
+//! software interrupts, or `into`) and control flow appears only as the
+//! final micro-op (direct jump, conditional branch, or fall-off-the-end).
+//! For such a block the fault machinery, per-instruction EIP bookkeeping,
+//! and per-µop coverage recording are all dead weight: the whole block
+//! either executes or it doesn't, so EIP is written once at the end and
+//! the block's deduplicated `coverage.uop` indices are replayed as a
+//! fixed prefix. Semantics are shared with the µop interpreter via
+//! [`crate::exec::alu_eval`] / [`crate::exec::set_cc`] and the register
+//! accessors, so the two strategies cannot drift.
+//!
+//! Observable state (registers, flags, coverage bits, successor EIP) is
+//! byte-identical to running the same block through `exec_tb`; only the
+//! execution strategy changes (DESIGN.md §11).
+
+use pokemu_isa::state::Seg;
+
+use crate::exec::{alu_eval, cond_eval_lazy, mask, read_reg, set_cc, write_reg, Core, TbExit};
+use crate::translate::Tb;
+use crate::uop::{AluKind, CcKind, Uop, UOP_COVERAGE_BITS};
+
+/// One pre-decoded fast op. Mirrors the non-faulting register-class
+/// subset of [`Uop`] with instruction-boundary markers folded away.
+#[derive(Debug, Clone, Copy)]
+enum FastOp {
+    Const {
+        dst: u8,
+        val: u32,
+    },
+    ReadReg {
+        dst: u8,
+        reg: u8,
+        size: u8,
+    },
+    WriteReg {
+        reg: u8,
+        size: u8,
+        src: u8,
+    },
+    ReadSel {
+        dst: u8,
+        seg: Seg,
+    },
+    Alu {
+        op: AluKind,
+        size: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Not {
+        dst: u8,
+        a: u8,
+        size: u8,
+    },
+    Neg {
+        dst: u8,
+        a: u8,
+        size: u8,
+    },
+    Ext {
+        dst: u8,
+        a: u8,
+        from: u8,
+        to: u8,
+        signed: bool,
+    },
+    Bswap {
+        dst: u8,
+        a: u8,
+    },
+    Lea {
+        dst: u8,
+        base: Option<u8>,
+        index: Option<(u8, u8)>,
+        disp: u32,
+    },
+    SetCc {
+        cc: CcKind,
+        size: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    GetEflags {
+        dst: u8,
+    },
+    GetCf {
+        dst: u8,
+    },
+    TestCc {
+        dst: u8,
+        cc: u8,
+    },
+    Select {
+        dst: u8,
+        cond: u8,
+        a: u8,
+        b: u8,
+    },
+    SetCarry {
+        mode: u8,
+    },
+    SetDirection {
+        set: bool,
+    },
+}
+
+/// How a fast block hands control back.
+#[derive(Debug, Clone, Copy)]
+enum FastExit {
+    /// Ran off the end of the block.
+    Fall,
+    /// Unconditional direct jump.
+    Jump(u32),
+    /// Conditional branch on materialized EFLAGS.
+    BrCc { cc: u8, target: u32 },
+    /// Conditional branch on a temp (loop/jecxz family).
+    BrCondT { cond: u8, target: u32 },
+}
+
+/// A pre-decoded, provably non-faulting block.
+#[derive(Debug, Clone)]
+pub struct FastBlock {
+    ops: Box<[FastOp]>,
+    /// The `coverage.uop` bits covered by the original µop stream
+    /// (including folded `InsnStart`s and the terminator), pre-merged into
+    /// per-word `(word, mask)` pairs and replayed on every execution so
+    /// coverage bitmaps match `exec_tb` exactly — at one word-level OR
+    /// (and, steady-state, one load) per pair instead of one RMW per µop.
+    cov: Box<[(u16, u64)]>,
+    /// EIP after the block when it falls through (= `Tb::end`).
+    end: u32,
+    exit: FastExit,
+}
+
+/// Compiles a translation block into its IR-skip form, or `None` when the
+/// block is not eligible (any potentially faulting µop, or control flow
+/// before the final µop).
+pub fn compile(tb: &Tb) -> Option<FastBlock> {
+    if tb.uops.is_empty() {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(tb.uops.len());
+    let mut bits = 0u128;
+    let mut exit = FastExit::Fall;
+    for (i, uop) in tb.uops.iter().enumerate() {
+        let last = i + 1 == tb.uops.len();
+        debug_assert!(uop.cov_index() < UOP_COVERAGE_BITS);
+        bits |= 1u128 << uop.cov_index();
+        match *uop {
+            Uop::InsnStart { .. } => {}
+            Uop::Const { dst, val } => ops.push(FastOp::Const { dst, val }),
+            Uop::ReadReg { dst, reg, size } => ops.push(FastOp::ReadReg { dst, reg, size }),
+            Uop::WriteReg { reg, size, src } => ops.push(FastOp::WriteReg { reg, size, src }),
+            Uop::ReadSel { dst, seg } => ops.push(FastOp::ReadSel { dst, seg }),
+            Uop::Alu {
+                op,
+                size,
+                dst,
+                a,
+                b,
+            } => ops.push(FastOp::Alu {
+                op,
+                size,
+                dst,
+                a,
+                b,
+            }),
+            Uop::Not { dst, a, size } => ops.push(FastOp::Not { dst, a, size }),
+            Uop::Neg { dst, a, size } => ops.push(FastOp::Neg { dst, a, size }),
+            Uop::Ext {
+                dst,
+                a,
+                from,
+                to,
+                signed,
+            } => ops.push(FastOp::Ext {
+                dst,
+                a,
+                from,
+                to,
+                signed,
+            }),
+            Uop::Bswap { dst, a } => ops.push(FastOp::Bswap { dst, a }),
+            Uop::Lea {
+                dst,
+                base,
+                index,
+                disp,
+            } => ops.push(FastOp::Lea {
+                dst,
+                base,
+                index,
+                disp,
+            }),
+            Uop::SetCc {
+                cc,
+                size,
+                dst,
+                a,
+                b,
+            } => ops.push(FastOp::SetCc {
+                cc,
+                size,
+                dst,
+                a,
+                b,
+            }),
+            Uop::GetEflags { dst } => ops.push(FastOp::GetEflags { dst }),
+            Uop::GetCf { dst } => ops.push(FastOp::GetCf { dst }),
+            Uop::TestCc { dst, cc } => ops.push(FastOp::TestCc { dst, cc }),
+            Uop::Select { dst, cond, a, b } => ops.push(FastOp::Select { dst, cond, a, b }),
+            Uop::SetCarry { mode } => ops.push(FastOp::SetCarry { mode }),
+            Uop::SetDirection { set } => ops.push(FastOp::SetDirection { set }),
+            Uop::SetEipImm { target } if last => exit = FastExit::Jump(target),
+            Uop::BrCc { cc, target } if last => exit = FastExit::BrCc { cc, target },
+            Uop::BrCondT { cond, target } if last => exit = FastExit::BrCondT { cond, target },
+            _ => return None,
+        }
+    }
+    // The executor runs temps out of a persistent scratch buffer without
+    // re-zeroing it between blocks, so every temp read must be dominated
+    // by a write inside this block — otherwise a stale value from an
+    // earlier block could leak in and the block is not eligible.
+    let mut written = [false; 256];
+    for op in &ops {
+        let mut reads: [Option<u8>; 3] = [None; 3];
+        let mut write: Option<u8> = None;
+        match *op {
+            FastOp::Const { dst, .. }
+            | FastOp::ReadReg { dst, .. }
+            | FastOp::ReadSel { dst, .. }
+            | FastOp::GetEflags { dst }
+            | FastOp::GetCf { dst }
+            | FastOp::TestCc { dst, .. }
+            | FastOp::Lea { dst, .. } => write = Some(dst),
+            FastOp::WriteReg { src, .. } => reads[0] = Some(src),
+            FastOp::Alu { dst, a, b, .. } => {
+                reads[0] = Some(a);
+                reads[1] = Some(b);
+                write = Some(dst);
+            }
+            FastOp::Not { dst, a, .. }
+            | FastOp::Neg { dst, a, .. }
+            | FastOp::Ext { dst, a, .. }
+            | FastOp::Bswap { dst, a } => {
+                reads[0] = Some(a);
+                write = Some(dst);
+            }
+            // SetCc only *reads* its three fields (dst is the ALU result).
+            FastOp::SetCc { dst, a, b, .. } => {
+                reads[0] = Some(dst);
+                reads[1] = Some(a);
+                reads[2] = Some(b);
+            }
+            FastOp::Select { dst, cond, a, b } => {
+                reads[0] = Some(cond);
+                reads[1] = Some(a);
+                reads[2] = Some(b);
+                write = Some(dst);
+            }
+            FastOp::SetCarry { .. } | FastOp::SetDirection { .. } => {}
+        }
+        for r in reads.into_iter().flatten() {
+            if !written[r as usize] {
+                return None;
+            }
+        }
+        if let Some(w) = write {
+            written[w as usize] = true;
+        }
+    }
+    if let FastExit::BrCondT { cond, .. } = exit {
+        if !written[cond as usize] {
+            return None;
+        }
+    }
+    let mut cov = Vec::with_capacity(2);
+    let (w0, w1) = (bits as u64, (bits >> 64) as u64);
+    if w0 != 0 {
+        cov.push((0u16, w0));
+    }
+    if w1 != 0 {
+        cov.push((1u16, w1));
+    }
+    Some(FastBlock {
+        ops: ops.into_boxed_slice(),
+        cov: cov.into_boxed_slice(),
+        end: tb.end,
+        exit,
+    })
+}
+
+/// Executes a fast block. Equivalent to `exec_tb` on the source block
+/// (same registers, flags, coverage bits, and successor), minus the
+/// per-µop fault/EIP bookkeeping. `t` is caller-owned scratch for temps;
+/// it is *not* cleared here — [`compile`] proved every read is dominated
+/// by a write, so stale contents are unobservable.
+pub fn exec_fast(core: &mut Core, t: &mut [u32; 256], fb: &FastBlock) -> TbExit {
+    static UOP_COV: std::sync::OnceLock<pokemu_rt::CoverageMap> = std::sync::OnceLock::new();
+    let uop_cov =
+        *UOP_COV.get_or_init(|| pokemu_rt::coverage::map("coverage.uop", UOP_COVERAGE_BITS));
+    for &(w, m) in fb.cov.iter() {
+        uop_cov.or_word(w as usize, m);
+    }
+    for op in fb.ops.iter() {
+        match *op {
+            FastOp::Const { dst, val } => t[dst as usize] = val,
+            FastOp::ReadReg { dst, reg, size } => t[dst as usize] = read_reg(&core.m, reg, size),
+            FastOp::WriteReg { reg, size, src } => {
+                write_reg(&mut core.m, reg, size, t[src as usize])
+            }
+            FastOp::ReadSel { dst, seg } => {
+                t[dst as usize] = core.m.segs[seg as usize].selector as u32
+            }
+            FastOp::Alu {
+                op,
+                size,
+                dst,
+                a,
+                b,
+            } => t[dst as usize] = alu_eval(op, size, t[a as usize], t[b as usize]),
+            FastOp::Not { dst, a, size } => t[dst as usize] = !t[a as usize] & mask(size),
+            FastOp::Neg { dst, a, size } => {
+                t[dst as usize] = (t[a as usize] & mask(size)).wrapping_neg() & mask(size)
+            }
+            FastOp::Ext {
+                dst,
+                a,
+                from,
+                to,
+                signed,
+            } => {
+                let v = t[a as usize] & mask(from);
+                let v = if signed && to > from {
+                    let shift = 32 - from * 8;
+                    (((v << shift) as i32) >> shift) as u32
+                } else {
+                    v
+                };
+                t[dst as usize] = v & mask(to);
+            }
+            FastOp::Bswap { dst, a } => t[dst as usize] = t[a as usize].swap_bytes(),
+            FastOp::Lea {
+                dst,
+                base,
+                index,
+                disp,
+            } => {
+                let mut ea = disp;
+                if let Some(b) = base {
+                    ea = ea.wrapping_add(core.m.gpr[b as usize]);
+                }
+                if let Some((i, s)) = index {
+                    ea = ea.wrapping_add(core.m.gpr[i as usize] << s);
+                }
+                t[dst as usize] = ea;
+            }
+            FastOp::SetCc {
+                cc,
+                size,
+                dst,
+                a,
+                b,
+            } => set_cc(
+                &mut core.m,
+                cc,
+                size,
+                t[dst as usize],
+                t[a as usize],
+                t[b as usize],
+            ),
+            FastOp::GetEflags { dst } => t[dst as usize] = core.m.eflags(),
+            FastOp::GetCf { dst } => t[dst as usize] = core.m.cc.cf(),
+            FastOp::TestCc { dst, cc } => t[dst as usize] = cond_eval_lazy(&core.m, cc) as u32,
+            FastOp::Select { dst, cond, a, b } => {
+                t[dst as usize] = if t[cond as usize] != 0 {
+                    t[a as usize]
+                } else {
+                    t[b as usize]
+                };
+            }
+            FastOp::SetCarry { mode } => {
+                let f = core.m.eflags();
+                let cf = 1u32 << pokemu_isa::state::flags::CF;
+                let nf = match mode {
+                    0 => f & !cf,
+                    1 => f | cf,
+                    _ => f ^ cf,
+                };
+                core.m.set_eflags(nf);
+            }
+            FastOp::SetDirection { set } => {
+                let f = core.m.eflags();
+                let df = 1u32 << pokemu_isa::state::flags::DF;
+                let nf = if set { f | df } else { f & !df };
+                core.m.set_eflags(nf);
+            }
+        }
+    }
+    core.m.eip = fb.end;
+    match fb.exit {
+        FastExit::Fall => TbExit::Fallthrough(fb.end),
+        FastExit::Jump(target) => TbExit::Taken(target),
+        FastExit::BrCc { cc, target } => {
+            if cond_eval_lazy(&core.m, cc) {
+                TbExit::Taken(target)
+            } else {
+                TbExit::Fallthrough(fb.end)
+            }
+        }
+        FastExit::BrCondT { cond, target } => {
+            if t[cond as usize] != 0 {
+                TbExit::Taken(target)
+            } else {
+                TbExit::Fallthrough(fb.end)
+            }
+        }
+    }
+}

@@ -182,6 +182,78 @@ impl CcState {
             }
         }
     }
+
+    /// The carry flag alone, as 0 or 1. Exactly the CF bit
+    /// [`materialize`](Self::materialize) would produce, without paying
+    /// for the other five flags — the hot path for `GetCf` (every
+    /// `inc`/`dec`/`adc` threads the previous CF through it).
+    pub fn cf(&self) -> u32 {
+        match self.op {
+            CcOp::Flags => (self.dst >> fl::CF) & 1,
+            CcOp::Logic => 0,
+            CcOp::Add | CcOp::Adc => {
+                let cin = if self.op == CcOp::Adc {
+                    (self.src3 & 1) as u64
+                } else {
+                    0
+                };
+                let s1 = self.src1 as u64 & mask(self.size);
+                let s2 = self.src2 as u64 & mask(self.size);
+                (((s1 + s2 + cin) >> (self.size * 8)) & 1) as u32
+            }
+            CcOp::Sub | CcOp::Sbb => {
+                let bin = if self.op == CcOp::Sbb {
+                    (self.src3 & 1) as u64
+                } else {
+                    0
+                };
+                let s1 = self.src1 as u64 & mask(self.size);
+                let s2 = self.src2 as u64 & mask(self.size);
+                (s1 < s2 + bin) as u32
+            }
+            CcOp::Inc | CcOp::Dec => self.src1 & 1,
+        }
+    }
+
+    /// The zero flag alone, as 0 or 1 (see [`cf`](Self::cf)).
+    pub fn zf(&self) -> u32 {
+        match self.op {
+            CcOp::Flags => (self.dst >> fl::ZF) & 1,
+            _ => (self.dst as u64 & mask(self.size) == 0) as u32,
+        }
+    }
+
+    /// The sign flag alone, as 0 or 1 (see [`cf`](Self::cf)).
+    pub fn sf(&self) -> u32 {
+        match self.op {
+            CcOp::Flags => (self.dst >> fl::SF) & 1,
+            _ => msb((self.dst as u64 & mask(self.size)) as u32, self.size),
+        }
+    }
+
+    /// The parity flag alone, as 0 or 1 (see [`cf`](Self::cf)).
+    pub fn pf(&self) -> u32 {
+        match self.op {
+            CcOp::Flags => (self.dst >> fl::PF) & 1,
+            _ => parity8((self.dst as u64 & mask(self.size)) as u32),
+        }
+    }
+
+    /// The overflow flag alone, as 0 or 1 (see [`cf`](Self::cf)).
+    pub fn of(&self) -> u32 {
+        let size = self.size;
+        let d = (self.dst as u64 & mask(size)) as u32;
+        let s1 = (self.src1 as u64 & mask(size)) as u32;
+        let s2 = (self.src2 as u64 & mask(size)) as u32;
+        match self.op {
+            CcOp::Flags => (self.dst >> fl::OF) & 1,
+            CcOp::Logic => 0,
+            CcOp::Add | CcOp::Adc => msb((s1 ^ d) & (s2 ^ d), size),
+            CcOp::Sub | CcOp::Sbb => msb((s1 ^ s2) & (s1 ^ d), size),
+            CcOp::Inc => (d as u64 & mask(size) == (mask(size) >> 1) + 1) as u32,
+            CcOp::Dec => (d as u64 & mask(size) == (mask(size) >> 1)) as u32,
+        }
+    }
 }
 
 /// One Lo-Fi segment register.
@@ -365,5 +437,66 @@ mod tests {
         let mut m = LofiMachine::new();
         m.phys_write(10, 0xdeadbeef, 4);
         assert_eq!(m.phys_read(10 + PHYS_MEM_SIZE, 4), 0xdeadbeef);
+    }
+
+    /// The single-flag accessors are the IR-skip hot path; they must agree
+    /// bit-for-bit with full materialization for every op/size/operand
+    /// combination or the lazy and materialized paths drift.
+    #[test]
+    fn single_flag_accessors_match_materialize() {
+        let ops = [
+            CcOp::Flags,
+            CcOp::Logic,
+            CcOp::Add,
+            CcOp::Adc,
+            CcOp::Sub,
+            CcOp::Sbb,
+            CcOp::Inc,
+            CcOp::Dec,
+        ];
+        let vals = [
+            0u32,
+            1,
+            2,
+            0x7f,
+            0x80,
+            0xff,
+            0x100,
+            0x7fff,
+            0x8000,
+            0xffff,
+            0x1_0000,
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_ffff,
+            0x1234_5678,
+            0xdead_beef,
+        ];
+        let mut x = 0x9e37_79b9u32; // deterministic LCG-ish mixer
+        for op in ops {
+            for size in [1u8, 2, 4] {
+                for i in 0..200 {
+                    let pick = |x: &mut u32| {
+                        *x = x.wrapping_mul(0x01000193).wrapping_add(i);
+                        vals[(*x >> 11) as usize % vals.len()] ^ (*x & 0xffff)
+                    };
+                    let cc = CcState {
+                        op,
+                        size,
+                        dst: pick(&mut x),
+                        src1: pick(&mut x),
+                        src2: pick(&mut x),
+                        src3: pick(&mut x) & 1,
+                    };
+                    let full = cc.materialize();
+                    let bit = |b: u8| (full >> b) & 1;
+                    assert_eq!(cc.cf(), bit(fl::CF), "CF {cc:?}");
+                    assert_eq!(cc.zf(), bit(fl::ZF), "ZF {cc:?}");
+                    assert_eq!(cc.sf(), bit(fl::SF), "SF {cc:?}");
+                    assert_eq!(cc.pf(), bit(fl::PF), "PF {cc:?}");
+                    assert_eq!(cc.of(), bit(fl::OF), "OF {cc:?}");
+                }
+            }
+        }
     }
 }

@@ -151,4 +151,34 @@ cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
     --only pipeline_smoke >/dev/null
 echo "bench gate correctly rejected the latency-faulted run"
 
+echo "== chain-off equivalence smoke (POKEMU_LOFI_CHAIN=0 conformance)"
+# The chained execution layer (DESIGN.md §11) is a pure execution-strategy
+# change: with chaining forced off, the conformance corpus must still match
+# every committed expected-deviation baseline byte for byte.
+POKEMU_LOFI_CHAIN=0 \
+    cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    conformance --roms tests/roms
+echo "chain-off run matches the committed conformance baselines"
+
+echo "== exec-throughput gate self-test (chain-off must fail the 2x gate)"
+# Prove the throughput gate actually gates on the chained layer: with
+# POKEMU_LOFI_CHAIN=0 the chain/superblock/IR-skip counters are exactly
+# zero, so the count gate fails machine-independently (and the hifi/lofi
+# ratio collapses besides). The failure must name exec_throughput.
+POKEMU_LOFI_CHAIN=0 \
+    cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
+    --only exec_throughput >/dev/null
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    bench --check >target/bench/chain-selftest.out 2>&1; then
+    echo "ERROR: bench gate passed a chain-off exec_throughput run" >&2
+    exit 1
+fi
+grep -q 'exec_throughput' target/bench/chain-selftest.out \
+    || { echo "ERROR: bench gate failed without naming exec_throughput:" >&2; \
+         cat target/bench/chain-selftest.out >&2; exit 1; }
+# Restore a clean result so a re-entrant CI run starts from a passing state.
+cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
+    --only exec_throughput >/dev/null
+echo "bench gate correctly rejected the chain-off run"
+
 echo "CI OK"
