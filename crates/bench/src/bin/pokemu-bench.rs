@@ -42,7 +42,7 @@ use pokemu::harness::{
 };
 use pokemu::lofi::Fidelity;
 use pokemu::testgen::{TestProgram, TestState};
-use pokemu_rt::{metrics, prof, rng};
+use pokemu_rt::{history, metrics, prof, rng};
 
 /// Schema version stamped into every perf JSON and baseline.
 const SCHEMA: u64 = 1;
@@ -408,12 +408,38 @@ fn main() {
         ("pipeline_smoke", pipeline_smoke),
     ];
 
+    // Run-ledger context: a full bench sweep and an `--only` rerun must
+    // form separate trend groups (their process-cumulative warm-up state
+    // differs), so the selected workload set is part of the fingerprint.
+    let selected: Vec<&str> = workloads
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| only.as_deref().is_none_or(|o| o == *n))
+        .collect();
+    history::set_context(&format!("pokemu-bench:{}", selected.join("+")));
+
     let mut ran = 0usize;
     for (name, run) in workloads {
         if only.as_deref().is_some_and(|o| o != name) {
             continue;
         }
         let w = run();
+        if history::enabled() {
+            let mut rec =
+                history::RunRecord::new("bench", name, history::fingerprint(&[name.to_string()]));
+            for (k, v) in &w.counts {
+                rec.det(format!("count.{k}"), *v);
+            }
+            for (k, v) in &w.ratios {
+                rec.timing(format!("ratio.{k}"), *v);
+            }
+            for (k, v) in &w.info {
+                rec.timing(format!("info.{k}"), *v);
+            }
+            if let Err(e) = history::append(rec) {
+                eprintln!("[history] append failed: {e}");
+            }
+        }
         let path = bench_dir.join(format!("{name}.perf.json"));
         std::fs::write(&path, w.perf_json()).expect("write perf json");
         let ratios: Vec<String> = w

@@ -15,6 +15,10 @@ use pokemu::lofi::Fidelity;
 use pokemu_rt::bench::Bench;
 
 fn main() {
+    // Stable run-ledger context: the pipeline run below appends a history
+    // record, and its trend group must not depend on the binary's cargo
+    // hash or working directory.
+    pokemu_rt::history::set_context("smoke-bench");
     let baseline = baseline_snapshot();
     let mut bench = Bench::new("smoke");
     let mut g = bench.group("smoke");

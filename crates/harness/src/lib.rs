@@ -12,6 +12,7 @@
 
 pub mod compare;
 pub mod conformance;
+pub mod ledger;
 pub mod manifest;
 pub mod pipeline;
 pub mod random;

@@ -346,6 +346,14 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
     flight::install_panic_hook();
     let run_start = Instant::now();
     let metrics_start = metrics::snapshot();
+    // The hot-TB table is process-cumulative; snapshot it so the ledger
+    // record carries this run's execution delta only (thread-invariant).
+    let history_armed = pokemu_rt::history::enabled();
+    let hot_before: std::collections::BTreeMap<u32, u64> = if history_armed {
+        pokemu_lofi::hot_tbs().into_iter().collect()
+    } else {
+        Default::default()
+    };
     let run_span = pokemu_rt::span!("pipeline.run");
     let run_frame = prof::frame("pipeline.run");
     let (baseline, setup_wall) = trace::timed("pipeline.setup", || {
@@ -596,6 +604,20 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
                 eprintln!("[manifest] quarantine dump {}", path.display());
             }
         }
+    }
+    // Every finished run leaves one compact record in the run ledger
+    // (POKEMU_HISTORY=0 opts out) — the cross-run substrate for
+    // `pokemu-report compare/trend` and the CI trend gate.
+    if history_armed {
+        let hot_delta = crate::ledger::hot_tb_delta(&hot_before, &pokemu_lofi::hot_tbs());
+        crate::ledger::append_record(crate::ledger::build_record(
+            &run_id,
+            &config,
+            &out,
+            &delta,
+            &coverage::snapshot(),
+            &hot_delta,
+        ));
     }
     out
 }

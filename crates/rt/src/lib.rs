@@ -21,7 +21,10 @@
 //! that chaos-test the quarantine and budget layers), and [`prof`] (an
 //! instrumenting self-profiler: per-thread scoped frames aggregated by
 //! stack path, exported as collapsed-stack `.folded` files for flamegraph
-//! tooling, one relaxed load per site when `POKEMU_PROF` is off).
+//! tooling, one relaxed load per site when `POKEMU_PROF` is off), and
+//! [`history`] (an append-only, content-hashed cross-run ledger under
+//! `target/history/` — the substrate for `pokemu-report compare`, `trend`,
+//! and the CI trend gate).
 //!
 //! Determinism is the point, not just offline builds: the same seeds produce
 //! the same exploration choices, the same random-baseline tests (E5), and
@@ -34,6 +37,7 @@ pub mod bench;
 pub mod coverage;
 pub mod fault;
 pub mod flight;
+pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -45,6 +49,7 @@ pub mod trace;
 pub use coverage::{CoverageMap, CoverageSnapshot, MapSnapshot};
 pub use fault::FaultKind;
 pub use flight::FlightEvent;
+pub use history::RunRecord;
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Timer};
 pub use pool::{for_each, PoolRun, QuarantineRecord, WorkerStats};
 pub use prof::{FrameGuard, FrameStat};

@@ -216,6 +216,25 @@ impl HistogramSnapshot {
         bucket_lo(self.buckets.len().saturating_sub(1))
     }
 
+    /// Median ([`quantile`](Self::quantile) at 0.50). Like all histogram
+    /// quantiles this is the **lower bound of the power-of-two bucket**
+    /// containing the ranked observation — exact at bucket boundaries
+    /// (values 0 and 1 have dedicated buckets), otherwise a lower bound
+    /// within a factor of two of the true order statistic.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile, bucket lower bound (see [`p50`](Self::p50)).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile, bucket lower bound (see [`p50`](Self::p50)).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Subtracts an earlier snapshot bucket-wise.
     pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         let buckets = (0..self.buckets.len().max(earlier.buckets.len()))
@@ -522,6 +541,14 @@ mod tests {
         // p100 is 100, bucket lower bound 64.
         assert_eq!(hs.quantile(1.0), 64);
         assert_eq!(hs.quantile(0.0), 1);
+        // The named accessors are the same bucket-boundary quantiles.
+        assert_eq!(hs.p50(), hs.quantile(0.50));
+        assert_eq!(hs.p95(), hs.quantile(0.95));
+        assert_eq!(hs.p99(), hs.quantile(0.99));
+        // p95 of 1..=100 ranks ~95, bucket lower bound 64; p99 likewise.
+        assert_eq!(hs.p95(), 64);
+        assert_eq!(hs.p99(), 64);
+        assert_eq!(HistogramSnapshot::default().p99(), 0);
     }
 
     #[test]

@@ -181,4 +181,79 @@ cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
     --only exec_throughput >/dev/null
 echo "bench gate correctly rejected the chain-off run"
 
+echo "== run ledger + trend gate (cross-run history, DESIGN.md §12)"
+# Hermetic history dir: two identical pipeline runs append ledger records,
+# `compare` diffs them with causal attribution, and `trend --check` gates
+# the newest record against the window — all must pass on a healthy pair.
+HDIR=target/history-ci
+HLEDGER=$HDIR/ledger.jsonl
+rm -rf "$HDIR"
+POKEMU_HISTORY_DIR=$HDIR POKEMU_PROF=1 POKEMU_RUN_ID=hist-a \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+POKEMU_HISTORY_DIR=$HDIR POKEMU_PROF=1 POKEMU_RUN_ID=hist-b \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    compare hist-a hist-b --ledger "$HLEDGER" >target/history-ci/compare.out
+grep -q 'attributed' target/history-ci/compare.out \
+    || { echo "ERROR: compare printed no attribution summary:" >&2; \
+         cat target/history-ci/compare.out >&2; exit 1; }
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    trend --check --ledger "$HLEDGER"
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    history verify --ledger "$HLEDGER"
+echo "healthy ledger: compare + trend --check + history verify all pass"
+
+echo "== compare attribution self-test (injected solver latency must be named)"
+# Arm a 2 ms latency fault on every solver.check call and append a third
+# record: `compare` against the healthy baseline must decompose the
+# wall-time regression down to a solver origin (solver.ns.<origin>) by name.
+POKEMU_HISTORY_DIR=$HDIR POKEMU_PROF=1 POKEMU_RUN_ID=hist-fault \
+    POKEMU_FAULT='solver.check:latency=2:*' \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    compare hist-a hist-fault --ledger "$HLEDGER" >target/history-ci/fault.out
+# The solver origin must appear inside the causal-attribution section, not
+# merely in the raw timing diff above it.
+awk '/== attribution/,0' target/history-ci/fault.out | grep -q 'solver\.ns\.' \
+    || { echo "ERROR: compare did not attribute the regression to a solver origin:" >&2; \
+         cat target/history-ci/fault.out >&2; exit 1; }
+echo "compare correctly attributed the injected latency to a solver origin"
+
+echo "== trend gate self-test (a coverage-blind run must fail by metric name)"
+# Observer toggles are deliberately not part of the config fingerprint, so
+# a coverage-blind run lands in the same trend group and its cov.*.set
+# populations collapse to zero — a deterministic drift the gate must
+# reject, naming the metric.
+POKEMU_HISTORY_DIR=$HDIR POKEMU_COVERAGE=0 POKEMU_RUN_ID=hist-nocov \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    trend --check --ledger "$HLEDGER" >target/history-ci/trend.out 2>&1; then
+    echo "ERROR: trend gate passed a coverage-blind run" >&2
+    exit 1
+fi
+grep -q 'cov\.opcode\.set' target/history-ci/trend.out \
+    || { echo "ERROR: trend gate failed without naming the drifted metric:" >&2; \
+         cat target/history-ci/trend.out >&2; exit 1; }
+echo "trend gate correctly rejected the coverage-blind run by metric name"
+
+echo "== history verify self-test (a tampered record must fail by file name)"
+# Flip one digit inside a stored record body: the content hash no longer
+# matches and `history verify` must exit 1 naming the file and line.
+cp "$HLEDGER" target/history-ci/tampered.jsonl
+sed -i '1s/"seq":1/"seq":9/' target/history-ci/tampered.jsonl
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    history verify --ledger target/history-ci/tampered.jsonl \
+    >target/history-ci/verify.out 2>&1; then
+    echo "ERROR: history verify passed a tampered ledger" >&2
+    exit 1
+fi
+grep -q 'tampered\.jsonl:1' target/history-ci/verify.out \
+    || { echo "ERROR: verify failed without naming the tampered file/line:" >&2; \
+         cat target/history-ci/verify.out >&2; exit 1; }
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    history gc --cap 2 --ledger target/history-ci/tampered.jsonl >/dev/null
+[ "$(wc -l <target/history-ci/tampered.jsonl)" -eq 2 ] \
+    || { echo "ERROR: history gc --cap 2 did not keep exactly 2 records" >&2; exit 1; }
+echo "history verify correctly rejected the tampered ledger"
+
 echo "CI OK"

@@ -29,3 +29,16 @@ echo "baseline refreshed: tests/roms/"
 cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
     --write-baselines tests/baselines/bench
 echo "baseline refreshed: tests/baselines/bench/"
+
+# Seed a fresh trend window (DESIGN.md §12): after an intentional change the
+# old run-history records describe the previous behavior, so the trend gate
+# would flag the new steady state as drift. Drop the local ledger and record
+# two clean runs so `pokemu-report trend --check` starts from a passing
+# window that reflects the refreshed baselines.
+rm -rf target/history
+POKEMU_PROF=1 POKEMU_RUN_ID=seed-a \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+POKEMU_PROF=1 POKEMU_RUN_ID=seed-b \
+    cargo run --release --offline -p pokemu-bench --bin smoke-bench >/dev/null
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- trend --check
+echo "trend window reseeded: target/history/ledger.jsonl"
