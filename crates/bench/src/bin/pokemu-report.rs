@@ -26,7 +26,10 @@
 //! `POKEMU_RUN_MANIFEST=1`). `diff` compares a run manifest against a
 //! committed baseline manifest and, with `--check`, fails when coverage
 //! bits present in the baseline are missing from the run or the root-cause
-//! cluster set changed — the CI regression gate.
+//! cluster set changed — the CI regression gate. Both subcommands also
+//! accept a fleet merged manifest (`target/fleet/<run>/merged.json`,
+//! DESIGN.md §13); `diff` additionally fails when shards are poisoned that
+//! the baseline did not have, naming each one.
 //!
 //! `perf` is the performance-observatory view: the pipeline wall-time
 //! attribution table (with `--check` requiring ≥95% of `pipeline.ns.total`
@@ -903,6 +906,9 @@ struct ManifestData {
     quarantined: u64,
     /// `robustness.unknown_queries` count (0 for pre-robustness manifests).
     unknown_queries: u64,
+    /// `fleet.poisoned` shard names, sorted (empty for non-fleet
+    /// manifests): shards whose worker exhausted its retry budget.
+    poisoned: Vec<String>,
 }
 
 fn load_manifest(path: &Path) -> Result<ManifestData, String> {
@@ -957,6 +963,17 @@ fn load_manifest(path: &Path) -> Result<ManifestData, String> {
     };
     let quarantined = rob_count("quarantined");
     let unknown_queries = rob_count("unknown_queries");
+    let mut poisoned: Vec<String> = root
+        .get("fleet")
+        .and_then(|f| f.get("poisoned"))
+        .and_then(Value::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default();
+    poisoned.sort();
     Ok(ManifestData {
         run_id,
         coverage,
@@ -965,6 +982,7 @@ fn load_manifest(path: &Path) -> Result<ManifestData, String> {
         completed,
         quarantined,
         unknown_queries,
+        poisoned,
     })
 }
 
@@ -1061,18 +1079,35 @@ fn cmd_coverage(args: &mut std::env::Args) -> ExitCode {
         "  robustness            completed={} quarantined={} unknown_queries={}",
         m.completed, m.quarantined, m.unknown_queries
     );
+    if !m.poisoned.is_empty() {
+        println!("  fleet.poisoned        {}", m.poisoned.join(", "));
+    }
     ExitCode::SUCCESS
 }
 
 /// `pokemu-report diff`: baseline-vs-run regression report. Violations are
 /// coverage bits present in the baseline but missing from the run, any
 /// change to a target's root-cause cluster set, and robustness regressions:
-/// a run that did not complete, or quarantine/unknown counts growing past
-/// the baseline's.
+/// a run that did not complete, quarantine/unknown counts growing past the
+/// baseline's, or (for fleet merges) shards newly poisoned vs the
+/// baseline, named individually.
 fn diff_violations(base: &ManifestData, cur: &ManifestData) -> Vec<String> {
     let mut violations = Vec::new();
     if !cur.completed {
         violations.push("run manifest says \"completed\": false (deadline cut the run)".to_owned());
+    }
+    let newly_poisoned: Vec<&str> = cur
+        .poisoned
+        .iter()
+        .filter(|s| !base.poisoned.contains(s))
+        .map(String::as_str)
+        .collect();
+    if !newly_poisoned.is_empty() {
+        violations.push(format!(
+            "fleet.poisoned grew: {} shard(s) poisoned vs baseline ({})",
+            newly_poisoned.len(),
+            newly_poisoned.join(", ")
+        ));
     }
     if cur.quarantined > base.quarantined {
         violations.push(format!(

@@ -12,6 +12,7 @@
 
 pub mod compare;
 pub mod conformance;
+pub mod fleet;
 pub mod ledger;
 pub mod manifest;
 pub mod pipeline;
@@ -23,6 +24,7 @@ pub use conformance::{
     build_corpus, check_conformance, find_roms_dir, program_json, run_conformance, write_baselines,
     ConformanceRun, ProgramResult, Violation,
 };
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, ShardReport, ShardStatus};
 pub use manifest::RunManifest;
 pub use pipeline::{
     generate_for_instruction, run_cross_validation, run_on_all_targets, CaseOutcome,

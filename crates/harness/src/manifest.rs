@@ -82,6 +82,25 @@ pub fn run_dir(run_id: &str) -> PathBuf {
     pokemu_rt::bench::target_dir().join("run").join(run_id)
 }
 
+/// Degrades a failed run-artifact write without panicking, and — unlike a
+/// bare counter bump — keeps the *attribution*: which fleet shard (from
+/// `POKEMU_FLEET_SHARD`, `none` outside a fleet worker) hit which OS error
+/// writing which artifact. The detail lands in the flight recorder (so a
+/// later quarantine/panic dump carries it) and on stderr (so a fleet
+/// coordinator's per-shard `worker.log` names the failure); the
+/// `manifest.write_failures` counter still bumps for the metrics trail.
+pub fn note_write_failure(what: &str, err: &io::Error) {
+    pokemu_rt::metrics::counter("manifest.write_failures").inc();
+    let shard = std::env::var(crate::fleet::SHARD_ENV).unwrap_or_else(|_| "none".to_owned());
+    let os = err
+        .raw_os_error()
+        .map_or_else(|| "none".to_owned(), |c| c.to_string());
+    pokemu_rt::flight::note("manifest.write_failure", || {
+        format!("{what} failed: shard={shard} os_error={os}: {err}")
+    });
+    eprintln!("[manifest] {what} failed (shard {shard}, os error {os}): {err}");
+}
+
 /// A fully rendered run manifest, ready to write.
 #[derive(Debug, Clone)]
 pub struct RunManifest {

@@ -571,20 +571,17 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             &coverage::snapshot(),
         );
         // Run-artifact writes must never panic a finished run: a full disk
-        // at the end of a campaign still leaves the in-memory result and a
-        // metric trail explaining what is missing on disk.
+        // at the end of a campaign still leaves the in-memory result and an
+        // attributed trail (shard id + OS error) explaining what is missing
+        // on disk.
         match manifest.write() {
             Ok(path) => eprintln!("[manifest] wrote {}", path.display()),
-            Err(e) => {
-                metrics::counter("manifest.write_failures").inc();
-                eprintln!("[manifest] write failed: {e}");
-            }
+            Err(e) => crate::manifest::note_write_failure("manifest write", &e),
         }
         if !out.deviations.is_empty() {
             let path = crate::manifest::run_dir(&run_id).join("flightrec-deviations.jsonl");
             if let Err(e) = flight::dump_to(&path) {
-                metrics::counter("manifest.write_failures").inc();
-                eprintln!("[manifest] flight dump failed: {e}");
+                crate::manifest::note_write_failure("flight dump", &e);
             }
         }
         // Each quarantined item carries the flight snapshot captured at
@@ -598,8 +595,7 @@ pub fn run_cross_validation(config: PipelineConfig) -> CrossValidation {
             events.dedup();
             let path = crate::manifest::run_dir(&run_id).join("flightrec-quarantine.jsonl");
             if let Err(e) = flight::dump_events_to(&path, &events) {
-                metrics::counter("manifest.write_failures").inc();
-                eprintln!("[manifest] quarantine dump failed: {e}");
+                crate::manifest::note_write_failure("quarantine dump", &e);
             } else {
                 eprintln!("[manifest] quarantine dump {}", path.display());
             }

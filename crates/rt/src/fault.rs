@@ -13,7 +13,7 @@
 //! ```text
 //! POKEMU_FAULT=<point>:<kind>:<selector>[;<point>:<kind>:<selector>...]
 //!
-//! kind     := panic | unknown | latency[=<ms>]       (latency default 100 ms)
+//! kind     := panic | unknown | latency[=<ms>] | kill (latency default 100 ms)
 //! selector := <n>            fire when the point's key equals n
 //!           | <p>@<seed>     fire with probability p (0.0..=1.0), seeded
 //!           | *              fire on every hit
@@ -21,7 +21,19 @@
 //!
 //! Examples: `pool.item:panic:3` panics the worker processing item 3;
 //! `solver.check:unknown:0.05@42` degrades ~5% of solver queries;
-//! `pipeline.insn:latency=50:1` stalls instruction 1 for 50 ms.
+//! `pipeline.insn:latency=50:1` stalls instruction 1 for 50 ms;
+//! `fleet.checkpoint:kill:1` SIGKILLs a fleet worker right after its first
+//! checkpoint lands (the crash-resume drill in `tests/fleet_recovery.rs`).
+//!
+//! # Fault points
+//!
+//! The production sites, by layer: `pool.item` (each dispatched work item),
+//! `solver.check` (each satisfiability query), and the fleet's process
+//! lifecycle — `fleet.spawn` (keyed by shard index, in the coordinator),
+//! `fleet.heartbeat` (keyed by heartbeat sequence, in the worker's
+//! heartbeat thread), and `fleet.checkpoint` (keyed by the shard's
+//! cumulative completed-instruction count, fired *after* the checkpoint
+//! rename so a `kill` here proves resume-from-checkpoint).
 //!
 //! # Determinism
 //!
@@ -58,6 +70,10 @@ pub enum FaultKind {
     Unknown,
     /// Sleep for the given duration (exercises deadline handling).
     Latency(Duration),
+    /// SIGKILL the calling process (exercises crash-resume: no unwinding,
+    /// no destructors, no flushes — the hardest crash a checkpointing
+    /// design has to survive).
+    Kill,
 }
 
 /// When a fault fires, as a function of the point's deterministic key.
@@ -178,6 +194,7 @@ fn parse_kind(s: &str) -> Option<FaultKind> {
         "panic" => Some(FaultKind::Panic),
         "unknown" => Some(FaultKind::Unknown),
         "latency" => Some(FaultKind::Latency(DEFAULT_LATENCY)),
+        "kill" => Some(FaultKind::Kill),
         _ => {
             let ms: u64 = s.strip_prefix("latency=")?.parse().ok()?;
             Some(FaultKind::Latency(Duration::from_millis(ms)))
@@ -293,6 +310,18 @@ pub fn inject(point: &'static str, key: u64) -> bool {
             false
         }
         FaultKind::Unknown => true,
+        FaultKind::Kill => {
+            // A real SIGKILL against our own pid: uncatchable, no unwind,
+            // no atexit — the process simply vanishes mid-instruction.
+            // abort() is the fallback if the kill(1) helper is missing;
+            // still a hard crash, just SIGABRT instead of SIGKILL.
+            eprintln!("fault injected: {point}:kill (key {key})");
+            let pid = std::process::id().to_string();
+            let _ = std::process::Command::new("kill")
+                .args(["-9", &pid])
+                .status();
+            std::process::abort();
+        }
     }
 }
 
@@ -385,6 +414,19 @@ mod tests {
         assert!(arm("p:weird:3").is_err());
         assert!(arm("p:unknown:2.0@1").is_err(), "probability > 1 rejected");
         assert_eq!(arm("a:panic:1;b:unknown:*").unwrap(), 2);
+    }
+
+    /// The `kill` kind parses and stays dormant off-key (actually firing it
+    /// would SIGKILL the test runner; `tests/fleet_recovery.rs` fires it
+    /// for real in a worker process).
+    #[test]
+    fn kill_kind_parses_and_misses_off_key() {
+        let _g = serialize();
+        let _d = Disarm;
+        arm("fleet.checkpoint:kill:7").unwrap();
+        assert_eq!(parse_kind("kill"), Some(FaultKind::Kill));
+        assert!(!inject("fleet.checkpoint", 6), "off-key must not fire");
+        assert!(!inject("fleet.spawn", 7), "other points must not fire");
     }
 
     #[test]

@@ -181,6 +181,59 @@ cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
     --only exec_throughput >/dev/null
 echo "bench gate correctly rejected the chain-off run"
 
+echo "== fleet gate (crash-safe sharded exploration, DESIGN.md §13)"
+# A healthy 2-shard fleet run over the 0xf7 group must reproduce the
+# committed merged-manifest baseline (coverage bits, clusters, no poisoned
+# shards). Refresh with scripts/refresh-baseline.sh after intentional change.
+rm -rf target/fleet/ci
+POKEMU_HISTORY=0 \
+    cargo run --release --offline -p pokemu-bench --bin pokemu-fleet -- \
+    run --run-id ci --root target/fleet/ci --shards 2 --first-byte 0xf7 \
+    --max-paths 64 --backoff-ms 10
+cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    diff --baseline tests/baselines/fleet-merged.json \
+    --manifest target/fleet/ci/merged.json --check
+echo "fleet merged manifest matches the committed baseline"
+
+echo "== fleet kill-one-worker self-test (SIGKILL mid-shard must be survivable)"
+# Arm a SIGKILL after every worker's first checkpoint: the coordinator must
+# retry each shard (attributed by name in fleet-events.jsonl), finish with
+# no poisoned shards, and the resumed merge must be byte-identical to the
+# healthy run above.
+rm -rf target/fleet/ci-kill
+POKEMU_HISTORY=0 POKEMU_FAULT='fleet.checkpoint:kill:1' \
+    cargo run --release --offline -p pokemu-bench --bin pokemu-fleet -- \
+    run --run-id ci --root target/fleet/ci-kill --shards 2 --first-byte 0xf7 \
+    --max-paths 64 --backoff-ms 10
+grep -q '"shard":"shard-[01]","event":"retry"' target/fleet/ci-kill/fleet-events.jsonl \
+    || { echo "ERROR: no retry event attributed to a shard by name" >&2; \
+         cat target/fleet/ci-kill/fleet-events.jsonl >&2; exit 1; }
+cmp target/fleet/ci/merged.json target/fleet/ci-kill/merged.json \
+    || { echo "ERROR: merged manifest after SIGKILL + resume differs from the uninterrupted run" >&2; exit 1; }
+echo "SIGKILLed workers resumed from checkpoints; merge byte-identical"
+
+echo "== fleet poisoned-shard gate self-test (exhausted retries must fail diff)"
+# Starve every spawn of shard-0: after --max-attempts the shard is demoted
+# to a poisoned record, the run itself still exits 0 (failures attributed,
+# other shards unaffected), and the diff gate must reject the merge naming
+# the shard.
+rm -rf target/fleet/ci-poison
+POKEMU_HISTORY=0 POKEMU_FAULT='fleet.spawn:unknown:0' \
+    cargo run --release --offline -p pokemu-bench --bin pokemu-fleet -- \
+    run --run-id ci --root target/fleet/ci-poison --shards 2 --first-byte 0xf7 \
+    --max-paths 64 --max-attempts 2 --backoff-ms 10
+if cargo run --release --offline -p pokemu-bench --bin pokemu-report -- \
+    diff --baseline tests/baselines/fleet-merged.json \
+    --manifest target/fleet/ci-poison/merged.json --check \
+    >target/fleet/poison-selftest.out 2>&1; then
+    echo "ERROR: diff gate passed a run with a poisoned shard" >&2
+    exit 1
+fi
+grep -q 'fleet.poisoned grew.*shard-0' target/fleet/poison-selftest.out \
+    || { echo "ERROR: diff gate failed without naming the poisoned shard:" >&2; \
+         cat target/fleet/poison-selftest.out >&2; exit 1; }
+echo "diff gate correctly rejected the poisoned-shard run, naming shard-0"
+
 echo "== run ledger + trend gate (cross-run history, DESIGN.md §12)"
 # Hermetic history dir: two identical pipeline runs append ledger records,
 # `compare` diffs them with causal attribution, and `trend --check` gates

@@ -30,6 +30,18 @@ cargo run --release --offline -q -p pokemu-bench --bin pokemu-bench -- \
     --write-baselines tests/baselines/bench
 echo "baseline refreshed: tests/baselines/bench/"
 
+# Fleet merged-manifest baseline (DESIGN.md §13): same workload and shard
+# count as the ci.sh fleet gate. The merge is deterministic content only
+# (timings and retry history live in fleet-events.jsonl), so the file is
+# machine-independent.
+rm -rf target/fleet/baseline
+POKEMU_HISTORY=0 \
+    cargo run --release --offline -p pokemu-bench --bin pokemu-fleet -- \
+    run --run-id ci --root target/fleet/baseline --shards 2 --first-byte 0xf7 \
+    --max-paths 64 --backoff-ms 10 >/dev/null
+cp target/fleet/baseline/merged.json tests/baselines/fleet-merged.json
+echo "baseline refreshed: tests/baselines/fleet-merged.json"
+
 # Seed a fresh trend window (DESIGN.md §12): after an intentional change the
 # old run-history records describe the previous behavior, so the trend gate
 # would flag the new steady state as drift. Drop the local ledger and record
