@@ -23,6 +23,15 @@ use std::time::Duration;
 use pokemu::harness::fleet::{self, FleetConfig, ShardStatus};
 use pokemu_rt::history;
 
+/// CLI failure with its exit code carried explicitly, so `main` never has
+/// to classify errors by sniffing the message text.
+enum CliError {
+    /// Bad arguments — exit 2.
+    Usage(String),
+    /// The fleet run itself failed — exit 1.
+    Run(String),
+}
+
 fn parse_byte(s: &str) -> Result<u8, String> {
     let (digits, radix) = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         Some(hex) => (hex, 16),
@@ -31,7 +40,7 @@ fn parse_byte(s: &str) -> Result<u8, String> {
     u8::from_str_radix(digits, radix).map_err(|e| format!("bad byte {s:?}: {e}"))
 }
 
-fn run(args: &[String]) -> Result<u8, String> {
+fn parse_run_args(args: &[String]) -> Result<FleetConfig, String> {
     let mut config = FleetConfig {
         run_id: "fleet".to_owned(),
         ..FleetConfig::default()
@@ -80,8 +89,13 @@ fn run(args: &[String]) -> Result<u8, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    Ok(config)
+}
 
-    let outcome = fleet::run_fleet(&config).map_err(|e| format!("fleet run failed: {e}"))?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let config = parse_run_args(args).map_err(CliError::Usage)?;
+    let outcome =
+        fleet::run_fleet(&config).map_err(|e| CliError::Run(format!("fleet run failed: {e}")))?;
     println!(
         "fleet run {} -> {}",
         outcome.run_id,
@@ -109,7 +123,7 @@ fn run(args: &[String]) -> Result<u8, String> {
         outcome.reused,
         outcome.poisoned.len()
     );
-    Ok(0)
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -118,10 +132,14 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("worker") => ExitCode::from(fleet::worker_main(&args[1..]) as u8),
         Some("run") => match run(&args[1..]) {
-            Ok(code) => ExitCode::from(code),
-            Err(e) => {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(CliError::Run(e)) => {
                 eprintln!("pokemu-fleet: {e}");
-                ExitCode::from(if e.contains("fleet run failed") { 1 } else { 2 })
+                ExitCode::from(1)
+            }
+            Err(CliError::Usage(e)) => {
+                eprintln!("pokemu-fleet: {e}");
+                ExitCode::from(2)
             }
         },
         _ => {

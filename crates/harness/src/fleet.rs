@@ -37,7 +37,7 @@
 //! its first checkpoint (`fleet.checkpoint:kill:1`) or starve every spawn
 //! (`fleet.spawn:unknown:*`) deterministically.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -167,7 +167,8 @@ pub struct FleetOutcome {
     pub unique_instructions: usize,
     /// Explored paths across all merged shards.
     pub total_paths: usize,
-    /// Deviations in the merged manifest (after cross-shard dedup).
+    /// Deviations in the merged manifest (all shards' records, in global
+    /// instruction order — shard partitioning guarantees no duplicates).
     pub deviations: usize,
 }
 
@@ -310,19 +311,29 @@ fn parse_coverage(v: Option<&Value>) -> CoverageSnapshot {
 }
 
 /// Bitwise union of two coverage snapshots (bitmaps are monotone, so union
-/// is exactly "everything either process set").
+/// is exactly "everything either process set"). A same-named map whose bit
+/// width differs between the two sides — possible when shards ran under
+/// different builds — is widened to the larger width and OR-ed, so neither
+/// side's set bits are ever silently discarded.
 fn union_coverage(a: &CoverageSnapshot, b: &CoverageSnapshot) -> CoverageSnapshot {
     let mut maps = a.maps.clone();
     for (name, m) in &b.maps {
         match maps.get_mut(name) {
-            Some(existing) if existing.bits == m.bits => {
+            Some(existing) => {
+                if existing.bits != m.bits {
+                    eprintln!(
+                        "[fleet] coverage map {name} width mismatch ({} vs {} bits); \
+                         widening and merging",
+                        existing.bits, m.bits
+                    );
+                    metrics::counter("fleet.coverage_width_mismatches").inc();
+                }
+                if m.bits > existing.bits {
+                    existing.bits = m.bits;
+                    existing.words.resize(m.words.len(), 0);
+                }
                 for (w, v) in existing.words.iter_mut().zip(&m.words) {
                     *w |= v;
-                }
-            }
-            Some(existing) => {
-                if m.bits > existing.bits {
-                    *existing = m.clone();
                 }
             }
             None => {
@@ -926,6 +937,7 @@ fn spawn_worker(
     config: &FleetConfig,
     root: &Path,
     shard: usize,
+    attempt: u32,
     config_fp: &str,
 ) -> io::Result<Child> {
     let dir = root.join(shard_name(shard));
@@ -933,7 +945,13 @@ fn spawn_worker(
     // A fresh attempt must not inherit the previous attempt's heartbeat
     // mtime, or a wedged respawn could look alive for a full stale window.
     let _ = std::fs::remove_file(dir.join("heartbeat"));
-    let log = std::fs::File::create(dir.join("worker.log"))?;
+    // Append, never truncate: a retry must not destroy the failed
+    // attempt's stderr — that is the output failure attribution runs on.
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("worker.log"))?;
+    writeln!(log, "----- attempt {attempt} -----")?;
 
     let (exe, prefix): (PathBuf, &[String]) = if config.worker_cmd.is_empty() {
         (std::env::current_exe()?, &[])
@@ -1089,7 +1107,7 @@ pub fn run_fleet(config: &FleetConfig) -> io::Result<FleetOutcome> {
                                 "spawn fault injected".to_owned(),
                             ))
                         } else {
-                            match spawn_worker(config, &root, shard, &config_fp) {
+                            match spawn_worker(config, &root, shard, attempt_no, &config_fp) {
                                 Ok(child) => {
                                     events.log(shard, "spawn", &format!("attempt {attempt_no}"));
                                     Some(ShardState::Running {
@@ -1116,8 +1134,24 @@ pub fn run_fleet(config: &FleetConfig) -> io::Result<FleetOutcome> {
                 } => {
                     busy = true;
                     let attempt_no = *attempt;
-                    match child.try_wait()? {
-                        Some(status) => {
+                    match child.try_wait() {
+                        // A poll error must stay scoped to this shard:
+                        // propagating it out of run_fleet would abandon
+                        // every other still-running worker un-killed, left
+                        // writing into the run root. Kill this child and
+                        // charge the attempt instead.
+                        Err(e) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            Some(fail_attempt(
+                                config,
+                                &mut events,
+                                shard,
+                                attempt_no,
+                                format!("wait error: {e}"),
+                            ))
+                        }
+                        Ok(Some(status)) => {
                             let manifest_ok =
                                 root.join(shard_name(shard)).join("manifest.json").is_file();
                             if status.success() && manifest_ok {
@@ -1144,7 +1178,7 @@ pub fn run_fleet(config: &FleetConfig) -> io::Result<FleetOutcome> {
                                 ))
                             }
                         }
-                        None => {
+                        Ok(None) => {
                             let age = heartbeat_age(&root.join(shard_name(shard)), *spawned);
                             if age > config.heartbeat_stale {
                                 let _ = child.kill();
@@ -1180,9 +1214,9 @@ pub fn run_fleet(config: &FleetConfig) -> io::Result<FleetOutcome> {
     }
 
     // Merge: interleave every merged shard's instruction records back into
-    // global order, dedup deviations by (target, path-id) across shards,
-    // union coverage, and rebuild the clusters — deterministic content
-    // only; retries, timings, and reuse live in fleet-events.jsonl.
+    // global order, union coverage, and rebuild the clusters —
+    // deterministic content only; retries, timings, and reuse live in
+    // fleet-events.jsonl.
     let mut shards_out = Vec::new();
     let mut poisoned = Vec::new();
     let mut reused = 0usize;
@@ -1227,15 +1261,12 @@ pub fn run_fleet(config: &FleetConfig) -> io::Result<FleetOutcome> {
     }
     let mut insns: Vec<InsnRecord> = docs.into_iter().flat_map(|d| d.insns).collect();
     insns.sort_by_key(|r| r.index);
-    // Path ids are content hashes of (instruction, path), so a duplicate
-    // (target, path-id) across shards is the same logical deviation; keep
-    // the first occurrence in global instruction order, exactly what a
-    // single-process run would have recorded.
-    let mut seen: BTreeSet<(String, u64)> = BTreeSet::new();
-    for r in &mut insns {
-        r.deviations
-            .retain(|d| seen.insert((d.target.clone(), d.path_id)));
-    }
+    // No cross-shard dedup: shard assignment is a pure function of the
+    // opcode class, so an instruction's deviations live in exactly one
+    // shard — and path ids hash only the branch path (not the
+    // instruction), so keying on them would collapse *distinct*
+    // instructions' straight-line deviations. Every recorded deviation is
+    // kept, exactly like a single-process `record_deviation` run.
     let counts = sum_counts(&insns);
     let deviations = all_deviations(&insns);
     let merged_shards = shards_out

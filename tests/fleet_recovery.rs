@@ -113,7 +113,7 @@ fn poisoned_shard_is_quarantined_by_name() {
     let mut cfg = config("poison", &root, 2);
     cfg.max_attempts = 2;
 
-    pokemu_rt::fault::arm("fleet.spawn:unknown:0");
+    pokemu_rt::fault::arm("fleet.spawn:unknown:0").expect("valid fault spec");
     let outcome = fleet::run_fleet(&cfg);
     pokemu_rt::fault::disarm();
     let outcome = outcome.expect("a poisoned shard must not abort the run");
